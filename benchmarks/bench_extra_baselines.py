@@ -1,0 +1,37 @@
+"""Additional historical baselines — TAGE-MDP and IDist+StoreSets.
+
+Sec. II describes both designs; neither appears in the paper's headline
+figures, but they bracket MASCOT's lineage: TAGE-MDP is the ancestor whose
+3-bit distance field and single usefulness bit MASCOT generalises, and
+IDist+StoreSets is the split MDP/SMB design whose doubled storage MASCOT's
+unification eliminates.
+"""
+
+from repro.experiments import make_predictor, run_ipc_suite, render_table
+
+from conftest import bench_suite, bench_uops, run_once
+
+
+def test_extra_baselines(benchmark):
+    predictors = ["tage-mdp", "idist+store-sets", "phast", "mascot"]
+
+    def run():
+        return run_ipc_suite(predictors, bench_suite(), bench_uops())
+
+    suite = run_once(benchmark, run)
+    rows = []
+    for name in predictors:
+        rows.append([
+            name,
+            f"{100 * (suite.geomean(name) - 1):+.3f}%",
+            f"{make_predictor(name).storage_kib:.1f}",
+        ])
+    print()
+    print(render_table(
+        ["predictor", "IPC vs perfect MDP", "KiB"],
+        rows,
+        title="Historical baselines (Sec. II) vs MASCOT",
+    ))
+    # MASCOT dominates both ancestors.
+    assert suite.geomean("mascot") > suite.geomean("tage-mdp")
+    assert suite.geomean("mascot") > suite.geomean("idist+store-sets")

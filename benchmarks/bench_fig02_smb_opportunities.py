@@ -1,0 +1,28 @@
+"""Fig. 2 — percentage of loads with a prior-store dependence, by class.
+
+Paper shape: the same-size aligned case (DirectBypass) dominates; perlbench
+and lbm show ~40% of loads with SMB opportunities, bwaves and wrf ~5%.
+"""
+
+from repro.experiments import fig2_smb_opportunities
+
+from conftest import bench_suite, bench_uops, run_once
+
+
+def test_fig2_smb_opportunities(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig2_smb_opportunities(bench_suite(), bench_uops()),
+    )
+    print()
+    print(result.render())
+
+    for bench, per in result.percentages.items():
+        assert per["DirectBypass"] >= per["Offset"], bench
+
+    rich = result.percentages.get("perlbench1") or next(
+        iter(result.percentages.values())
+    )
+    if "bwaves" in result.percentages:
+        sparse = result.percentages["bwaves"]
+        assert sum(rich.values()) > sum(sparse.values())

@@ -1,0 +1,28 @@
+"""Fig. 7 — IPC of NoSQ / PHAST / MASCOT (MDP+SMB) vs perfect MDP.
+
+Paper: MASCOT beats NoSQ by 4.9%, PHAST by 1.9% and perfect MDP by 1.0%
+(geometric means); peak gains on perlbench2.
+"""
+
+from repro.experiments import fig7_ipc_full
+
+from conftest import bench_suite, bench_uops, run_once
+
+
+def test_fig7_ipc_full(benchmark):
+    result = run_once(
+        benchmark, lambda: fig7_ipc_full(bench_suite(), bench_uops())
+    )
+    print()
+    print(result.render())
+    g = {p: result.geomean(p) for p in result.predictors}
+    print(f"MASCOT vs NoSQ : {100 * (g['mascot'] / g['nosq'] - 1):+.2f}% "
+          f"(paper: +4.9%)")
+    print(f"MASCOT vs PHAST: {100 * (g['mascot'] / g['phast'] - 1):+.2f}% "
+          f"(paper: +1.9%)")
+    print(f"MASCOT vs perfect MDP: {100 * (g['mascot'] - 1):+.2f}% "
+          f"(paper: +1.0%)")
+    # Shape assertions: the ordering the paper reports.
+    assert g["mascot"] > g["phast"]
+    assert g["mascot"] > g["nosq"]
+    assert g["nosq"] < 1.0  # NoSQ underperforms perfect MDP

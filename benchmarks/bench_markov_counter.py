@@ -1,0 +1,29 @@
+"""Footnote 1 — expected drain time of a saturating confidence counter.
+
+Paper: a 3-bit counter initialised to max with a 70%-dependent load needs
+an expected 1,625 predictions to reach 0 — why decrement-only unlearning
+is slow and MASCOT allocates non-dependence entries instead.
+"""
+
+import pytest
+
+from repro.analysis import expected_drain_from_max
+from repro.experiments import render_table
+
+from conftest import run_once
+
+
+def test_markov_counter_drain(benchmark):
+    value = run_once(benchmark, lambda: expected_drain_from_max(3, 0.7))
+    rows = [
+        [bits, p, f"{expected_drain_from_max(bits, p):.1f}"]
+        for bits in (2, 3, 4)
+        for p in (0.5, 0.6, 0.7)
+    ]
+    print()
+    print(render_table(
+        ["counter bits", "P(correct)", "expected predictions to drain"],
+        rows,
+        title="Footnote 1 — drain time of decrement-only unlearning",
+    ))
+    assert value == pytest.approx(1625, rel=0.01)

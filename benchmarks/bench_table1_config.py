@@ -1,0 +1,20 @@
+"""Table I — system configuration of the modelled cores."""
+
+from repro.core.config import GOLDEN_COVE, LION_COVE
+from repro.experiments import table1_configuration
+
+from conftest import run_once
+
+
+def test_table1_golden_cove(benchmark):
+    result = run_once(benchmark, lambda: table1_configuration(GOLDEN_COVE))
+    print()
+    print(result.render())
+    assert "512/204/192/114" in result.rows["ROB/IQ/LQ/SB"]
+
+
+def test_table1_lion_cove(benchmark):
+    result = run_once(benchmark, lambda: table1_configuration(LION_COVE))
+    print()
+    print(result.render())
+    assert "576" in result.rows["ROB/IQ/LQ/SB"]

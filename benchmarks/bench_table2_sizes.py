@@ -1,0 +1,22 @@
+"""Table II — predictor configuration and storage budgets.
+
+Paper values: Store Sets 18.5 KB, NoSQ 19 KB, PHAST 14.5 KB, MASCOT 14 KB
+(plus Fig. 15's MASCOT-OPT at 11.8 KiB and tags-4 at 10.1 KiB).
+"""
+
+import pytest
+
+from repro.experiments import table2_sizes
+
+from conftest import run_once
+
+
+def test_table2_sizes(benchmark):
+    result = run_once(benchmark, table2_sizes)
+    print()
+    print(result.render())
+    by_name = {row.name: row for row in result.rows}
+    assert by_name["phast"].kib == pytest.approx(14.5)
+    assert by_name["mascot"].kib == pytest.approx(14.0)
+    assert by_name["nosq"].kib == pytest.approx(19.0)
+    assert by_name["mascot-opt-tag4"].kib == pytest.approx(10.1, abs=0.05)

@@ -1,0 +1,51 @@
+"""Shared configuration for the figure-regeneration benches.
+
+Every bench regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports.  Scale is controlled by two
+environment variables so the default run stays minutes-fast in pure
+Python while a full regeneration remains one command away:
+
+* ``REPRO_BENCH_UOPS``  — dynamic micro-ops per benchmark (default 40000).
+* ``REPRO_BENCH_FULL``  — set to 1 to run the complete 22-benchmark suite
+  instead of the 10-benchmark representative subset.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+#: Representative subset covering the paper's contrasts: dependence-rich
+#: (perlbench, lbm, xz), pointer-chasing (mcf), branchy integer (gcc,
+#: deepsjeng), register-resident (exchange2) and streaming FP (bwaves, wrf).
+REPRESENTATIVE_SUITE = [
+    "perlbench1", "perlbench2", "gcc4", "mcf", "deepsjeng", "exchange2",
+    "xz", "bwaves", "lbm", "wrf",
+]
+
+
+def bench_uops() -> int:
+    return int(os.environ.get("REPRO_BENCH_UOPS", "40000"))
+
+
+def bench_suite():
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        from repro.trace import suite_names
+        return suite_names()
+    return list(REPRESENTATIVE_SUITE)
+
+
+@pytest.fixture
+def suite():
+    return bench_suite()
+
+
+@pytest.fixture
+def uops():
+    return bench_uops()
+
+
+def run_once(benchmark, fn):
+    """Run a figure generator exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Future architectures — the Fig. 12 study as an application.
+
+Compares MASCOT and the perfect-MDP+SMB ceiling on Golden Cove vs Lion
+Cove, and additionally sweeps a synthetic "ever wider" core family to show
+how the SMB opportunity scales with window sizes — the paper's argument for
+why bypassing matters more on future machines.
+
+Run:  python examples/future_architectures.py [num_uops]
+"""
+
+import sys
+
+from repro import GOLDEN_COVE, LION_COVE
+from repro.experiments import render_table, run_ipc_suite
+
+BENCHMARKS = ["perlbench2", "gcc4", "lbm", "xz"]
+
+
+def main() -> None:
+    num_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+
+    widened = LION_COVE.with_(
+        name="hypothetical-wider",
+        fetch_width=10,
+        commit_width=16,
+        rob_size=768,
+        iq_size=320,
+        lq_size=256,
+        sb_size=160,
+        load_ports=4,
+        alu_ports=8,
+    )
+
+    rows = []
+    for core in (GOLDEN_COVE, LION_COVE, widened):
+        print(f"Sweeping {core.name} "
+              f"(ROB {core.rob_size}, {core.fetch_width}-wide) ...")
+        suite = run_ipc_suite(["perfect-mdp-smb", "mascot"],
+                              BENCHMARKS, num_uops, config=core)
+        rows.append([
+            core.name,
+            core.rob_size,
+            f"{100 * (suite.geomean('perfect-mdp-smb') - 1):+.2f}%",
+            f"{100 * (suite.geomean('mascot') - 1):+.2f}%",
+        ])
+    print()
+    print(render_table(
+        ["core", "ROB", "perfect MDP+SMB ceiling", "MASCOT"],
+        rows,
+        title="Fig. 12 — SMB headroom grows with core size "
+              "(vs each core's own perfect MDP)",
+    ))
+    print("Paper: ceiling 2.1% (Golden Cove) -> 2.8% (Lion Cove); "
+          "MASCOT 1.0% -> 1.3%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""SimPoint workflow — evaluating on representative intervals.
+
+The paper simulates 100M-instruction SimPoint intervals instead of whole
+benchmarks.  This example runs the same workflow on a synthetic trace:
+
+1. generate a long trace,
+2. cluster its intervals by basic-block vector and pick SimPoints,
+3. estimate full-trace IPC from the weighted SimPoints,
+4. compare the estimate (and its cost) against simulating everything.
+
+Run:  python examples/simpoint_workflow.py [benchmark] [num_uops]
+"""
+
+import sys
+import time
+
+from repro import Mascot, Pipeline, generate_trace
+from repro.trace import select_simpoints, estimate_weighted
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc1"
+    num_uops = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+    interval = max(num_uops // 12, 2_000)
+
+    print(f"Generating {num_uops:,} micro-ops of {benchmark!r} ...")
+    trace = generate_trace(benchmark, num_uops)
+
+    print("Selecting SimPoints "
+          f"({num_uops // interval} intervals of {interval:,}) ...")
+    simpoints = select_simpoints(trace, interval, max_k=4)
+    for s in simpoints:
+        print(f"  interval {s.interval.index:3d} "
+              f"[{s.interval.start:,}..{s.interval.end:,})  "
+              f"weight {s.weight:.2f}  (stands for {s.cluster_size} "
+              "intervals)")
+
+    def ipc(piece, measure_from):
+        return Pipeline(Mascot()).run(piece, measure_from=measure_from).ipc
+
+    t0 = time.time()
+    estimate = estimate_weighted(trace, simpoints, ipc)
+    estimate_time = time.time() - t0
+
+    t0 = time.time()
+    full = Pipeline(Mascot()).run(trace).ipc
+    full_time = time.time() - t0
+
+    error = 100.0 * (estimate / full - 1.0)
+    print()
+    print(f"full simulation      : IPC {full:.4f}  ({full_time:.1f}s)")
+    print(f"SimPoint estimate    : IPC {estimate:.4f}  "
+          f"({estimate_time:.1f}s, {error:+.1f}% error)")
+    print(f"simulated fraction   : "
+          f"{sum(s.interval.end - s.interval.start for s in simpoints) / len(trace):.0%}"
+          " of the trace")
+
+
+if __name__ == "__main__":
+    main()

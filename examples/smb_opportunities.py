@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""SMB opportunity analysis — the Fig. 2 study as an application.
+
+Scans suite traces and histograms, per benchmark, how loads relate to
+their nearest older in-flight store: DirectBypass / NoOffset / Offset /
+MDP-only (Fig. 1's taxonomy).  Then estimates how much of the dependence
+traffic MASCOT's default hardware assumption (same-address bypassing only,
+Sec. IV-E) can capture, and what the offset-bypass extension would add.
+
+Run:  python examples/smb_opportunities.py [num_uops]
+"""
+
+import sys
+
+from repro.experiments import fig2_smb_opportunities, render_table
+from repro.trace import suite_names
+
+
+def main() -> None:
+    num_uops = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    benchmarks = suite_names()
+    print(f"Scanning {len(benchmarks)} benchmarks x {num_uops:,} uops ...")
+    result = fig2_smb_opportunities(benchmarks, num_uops)
+    print()
+    print(result.render())
+
+    rows = []
+    for bench, per in result.percentages.items():
+        total_dep = sum(per.values())
+        same_address = per["DirectBypass"] + per["NoOffset"]
+        with_offset = same_address + per["Offset"]
+        coverage = 100 * same_address / total_dep if total_dep else 0.0
+        extended = 100 * with_offset / total_dep if total_dep else 0.0
+        rows.append([bench, f"{total_dep:.1f}", f"{coverage:.0f}%",
+                     f"{extended:.0f}%"])
+    print(render_table(
+        ["benchmark", "dependent loads (% of loads)",
+         "bypassable w/ same-addr HW", "... + offset extension"],
+        rows,
+        title="How much dependence traffic each bypass capability covers",
+    ))
+    print("Paper observation: the same-size aligned case dominates, so the "
+          "simple same-address hardware already covers most opportunities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+``python setup.py develop`` (or ``pip install .`` for a regular install)
+works with the stock setuptools available offline.  All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

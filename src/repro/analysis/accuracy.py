@@ -1,0 +1,201 @@
+"""Classification of prediction outcomes and accuracy accounting.
+
+Implements the error taxonomy of Fig. 5 / Fig. 8:
+
+* **false dependence** — a dependence was predicted but none existed.  For
+  MDP this only delays the load; for SMB it squashes (the load obtained a
+  value it should not have).
+* **speculative error** — any outcome requiring a squash in the MDP sense:
+  a missed dependence (predicted none, dependence existed), a conflict with
+  a different store than predicted, or a bypass that delivered the wrong
+  value (wrong store or non-bypassable overlap).
+
+The same classification drives the Fig. 8 misprediction counts, the Fig. 10
+prediction/misprediction mixes and the squash decisions of the timing model,
+so accuracy-mode and timing-mode experiments can never disagree about what
+counts as an error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..predictors.base import ActualOutcome, Prediction, PredictionKind
+from ..trace.uop import SAME_ADDRESS_BYPASSABLE, BypassClass
+
+__all__ = [
+    "OutcomeKind",
+    "Outcome",
+    "classify",
+    "AccuracyStats",
+    "DEFAULT_BYPASSABLE",
+]
+
+#: Overlap classes the default modelled bypass hardware supports
+#: (Sec. IV-E: same-address bypassing; the load may be narrower than the
+#: store).  Predictors built for shift-capable datapaths override this via
+#: :attr:`repro.predictors.base.MDPredictor.bypassable_classes`.
+DEFAULT_BYPASSABLE = SAME_ADDRESS_BYPASSABLE
+
+
+class OutcomeKind(enum.Enum):
+    """Joint classification of (prediction, ground truth)."""
+
+    CORRECT_NODEP = "correct_nodep"
+    CORRECT_MDP = "correct_mdp"        # right store, no bypass claimed
+    CORRECT_SMB = "correct_smb"        # right store, bypass delivered
+    FALSE_DEP_MDP = "false_dep_mdp"    # predicted MDP, no dependence
+    FALSE_DEP_SMB = "false_dep_smb"    # predicted SMB, no dependence (squash)
+    MISSED_DEP = "missed_dep"          # predicted none, dependence (squash)
+    WRONG_STORE_MDP = "wrong_store_mdp"  # MDP named the wrong store (squash)
+    WRONG_STORE_SMB = "wrong_store_smb"  # SMB named the wrong store (squash)
+    SMB_NOT_BYPASSABLE = "smb_not_bypassable"  # right store, partial value (squash)
+
+    @property
+    def is_misprediction(self) -> bool:
+        return self not in (
+            OutcomeKind.CORRECT_NODEP,
+            OutcomeKind.CORRECT_MDP,
+            OutcomeKind.CORRECT_SMB,
+        )
+
+    @property
+    def is_false_dependence(self) -> bool:
+        """Fig. 8's 'false dependencies' bucket."""
+        return self in (OutcomeKind.FALSE_DEP_MDP, OutcomeKind.FALSE_DEP_SMB)
+
+    @property
+    def is_speculative_error(self) -> bool:
+        """Fig. 8's 'speculative errors' bucket (squash-causing)."""
+        return self in (
+            OutcomeKind.MISSED_DEP,
+            OutcomeKind.WRONG_STORE_MDP,
+            OutcomeKind.WRONG_STORE_SMB,
+            OutcomeKind.SMB_NOT_BYPASSABLE,
+            OutcomeKind.FALSE_DEP_SMB,
+        )
+
+    @property
+    def causes_squash(self) -> bool:
+        return self.is_speculative_error
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The classification result for one dynamic load."""
+
+    kind: OutcomeKind
+    prediction: PredictionKind
+    #: True when the named store matched exactly (distance or seq).
+    store_match: bool
+
+
+def _store_matches(prediction: Prediction, actual: ActualOutcome,
+                   distance_cap: int = 127) -> bool:
+    """Whether the prediction named the actual conflicting store."""
+    if prediction.store_seq is not None and actual.store_seq is not None:
+        return prediction.store_seq == actual.store_seq
+    return prediction.distance == min(actual.distance, distance_cap)
+
+
+def classify(prediction: Prediction, actual: ActualOutcome,
+             bypassable_classes: frozenset = DEFAULT_BYPASSABLE) -> Outcome:
+    """Map a (prediction, ground truth) pair onto the Fig. 5 decision tree."""
+    pk = prediction.kind
+
+    if pk is PredictionKind.NO_DEP:
+        if actual.has_dependence:
+            return Outcome(OutcomeKind.MISSED_DEP, pk, False)
+        return Outcome(OutcomeKind.CORRECT_NODEP, pk, True)
+
+    if not actual.has_dependence:
+        kind = (OutcomeKind.FALSE_DEP_SMB if pk is PredictionKind.SMB
+                else OutcomeKind.FALSE_DEP_MDP)
+        return Outcome(kind, pk, False)
+
+    match = _store_matches(prediction, actual)
+    if pk is PredictionKind.MDP:
+        if match:
+            return Outcome(OutcomeKind.CORRECT_MDP, pk, True)
+        return Outcome(OutcomeKind.WRONG_STORE_MDP, pk, False)
+
+    # SMB prediction with an actual dependence.
+    if not match:
+        return Outcome(OutcomeKind.WRONG_STORE_SMB, pk, False)
+    if actual.bypass in bypassable_classes:
+        return Outcome(OutcomeKind.CORRECT_SMB, pk, True)
+    return Outcome(OutcomeKind.SMB_NOT_BYPASSABLE, pk, True)
+
+
+@dataclass
+class AccuracyStats:
+    """Aggregated outcome counts for one (benchmark, predictor) run."""
+
+    loads: int = 0
+    outcome_counts: Dict[OutcomeKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in OutcomeKind}
+    )
+    prediction_counts: Dict[PredictionKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PredictionKind}
+    )
+    instructions: int = 0
+
+    def record(self, outcome: Outcome) -> None:
+        self.loads += 1
+        self.outcome_counts[outcome.kind] += 1
+        self.prediction_counts[outcome.prediction] += 1
+
+    # -- aggregate views -------------------------------------------------------
+
+    @property
+    def mispredictions(self) -> int:
+        return sum(c for k, c in self.outcome_counts.items()
+                   if k.is_misprediction)
+
+    @property
+    def false_dependencies(self) -> int:
+        return sum(c for k, c in self.outcome_counts.items()
+                   if k.is_false_dependence)
+
+    @property
+    def speculative_errors(self) -> int:
+        return sum(c for k, c in self.outcome_counts.items()
+                   if k.is_speculative_error)
+
+    @property
+    def squashes(self) -> int:
+        return sum(c for k, c in self.outcome_counts.items()
+                   if k.causes_squash)
+
+    def mpki(self, instructions: Optional[int] = None) -> float:
+        """Mispredictions per kilo-instruction."""
+        count = instructions if instructions is not None else self.instructions
+        if count <= 0:
+            raise ValueError("instruction count must be positive")
+        return 1000.0 * self.mispredictions / count
+
+    def misprediction_mix(self) -> Dict[PredictionKind, int]:
+        """Fig. 10 (right): mispredictions bucketed by predicted type."""
+        mix = {kind: 0 for kind in PredictionKind}
+        for outcome_kind, count in self.outcome_counts.items():
+            if not outcome_kind.is_misprediction:
+                continue
+            if outcome_kind in (OutcomeKind.FALSE_DEP_SMB,
+                                OutcomeKind.WRONG_STORE_SMB,
+                                OutcomeKind.SMB_NOT_BYPASSABLE):
+                mix[PredictionKind.SMB] += count
+            elif outcome_kind is OutcomeKind.MISSED_DEP:
+                mix[PredictionKind.NO_DEP] += count
+            else:
+                mix[PredictionKind.MDP] += count
+        return mix
+
+    def merge(self, other: "AccuracyStats") -> None:
+        self.loads += other.loads
+        self.instructions += other.instructions
+        for kind, count in other.outcome_counts.items():
+            self.outcome_counts[kind] += count
+        for kind, count in other.prediction_counts.items():
+            self.prediction_counts[kind] += count

@@ -1,0 +1,52 @@
+"""GShare direction predictor (McFarling, 1993).
+
+Kept both as a cheap front-end predictor option and because NoSQ's
+memory-dependence predictor is "based on the GShare predictor" — its
+path-dependent table XORs the PC with a global-history vector exactly as
+done here.
+"""
+
+from __future__ import annotations
+
+from ..common.bitops import mask
+from .base import BranchPredictor
+
+__all__ = ["GShare"]
+
+
+class GShare(BranchPredictor):
+    """Classic GShare: PC XOR global history indexing a table of 2-bit counters."""
+
+    def __init__(self, index_bits: int = 14, history_bits: int = 14):
+        super().__init__()
+        if index_bits <= 0:
+            raise ValueError("index_bits must be positive")
+        if history_bits < 0:
+            raise ValueError("history_bits must be non-negative")
+        self.index_bits = index_bits
+        self.history_bits = min(history_bits, index_bits)
+        # Weakly-taken initial state: real machines reset to weakly a side.
+        self._counters = [2] * (1 << index_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 1) ^ self._history) & mask(self.index_bits)
+
+    def _predict(self, pc: int) -> bool:
+        return self._counters[self._index(pc)] >= 2
+
+    def _train(self, pc: int, taken: bool, prediction: bool) -> None:
+        idx = self._index(pc)
+        counter = self._counters[idx]
+        if taken:
+            self._counters[idx] = min(3, counter + 1)
+        else:
+            self._counters[idx] = max(0, counter - 1)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & mask(
+            self.history_bits
+        )
+
+    @property
+    def storage_bits(self) -> int:
+        """Table storage in bits (2-bit counters)."""
+        return 2 * len(self._counters)

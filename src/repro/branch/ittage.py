@@ -1,0 +1,165 @@
+"""ITTAGE-style indirect branch target predictor.
+
+Sec. III-B of the paper leans on the TAGE/ITTAGE analogy: "the reason that
+ITTAGE and TAGE are kept separate in branch prediction is that TAGE entries
+are much smaller... In the analogy, all loads are indirect branches."  We
+provide a compact ITTAGE so the timing model's indirect branches are
+predicted with history context rather than the last-target baseline, and so
+the analogy is concretely inspectable in code: compare
+:class:`ITTAGE`'s target-table entries with MASCOT's distance entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..common.bitops import mask
+from ..common.hashing import table_index, table_tag
+from ..common.history import GlobalHistory
+
+__all__ = ["ITTAGE", "ITtageEntry"]
+
+
+@dataclass
+class ITtageEntry:
+    """Tag + full target + 2-bit confidence + 2-bit usefulness."""
+
+    tag: int
+    target: int
+    confidence: int = 1
+    useful: int = 0
+
+
+class ITTAGE:
+    """A small ITTAGE: base last-target table + tagged history tables."""
+
+    def __init__(
+        self,
+        histories: Sequence[int] = (2, 8, 32, 128),
+        index_bits: int = 8,
+        tag_bits: int = 9,
+        base_index_bits: int = 10,
+    ):
+        if list(histories) != sorted(histories) or not histories:
+            raise ValueError("history lengths must be increasing, non-empty")
+        self.histories = tuple(histories)
+        self.index_bits = index_bits
+        self.tag_bits = tag_bits
+        self.base_index_bits = base_index_bits
+
+        # Base predictor: direct-mapped last-target table.
+        self._base: List[Optional[int]] = [None] * (1 << base_index_bits)
+        self._tables: List[List[Optional[ITtageEntry]]] = [
+            [None] * (1 << index_bits) for _ in histories
+        ]
+        self._ghist = GlobalHistory(max_bits=max(histories) + 8)
+        self._index_folds = [
+            self._ghist.attach_fold(h, index_bits) for h in histories
+        ]
+        self._tag_folds = [
+            self._ghist.attach_fold(h, tag_bits) for h in histories
+        ]
+        self._tag_folds2 = [
+            self._ghist.attach_fold(h, max(tag_bits - 1, 1))
+            for h in histories
+        ]
+        # Prediction counters.
+        self.lookups = 0
+        self.mispredictions = 0
+
+    # -------------------------------------------------------------------- keys
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 1) & mask(self.base_index_bits)
+
+    def _keys(self, pc: int) -> List[Tuple[int, int]]:
+        return [
+            (
+                table_index(pc, self.index_bits, self._index_folds[t].value,
+                            table_number=t + 1),
+                table_tag(pc, self.tag_bits, self._tag_folds[t].value,
+                          self._tag_folds2[t].value),
+            )
+            for t in range(len(self.histories))
+        ]
+
+    # ----------------------------------------------------------------- predict
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target, or None when nothing is known."""
+        keys = self._keys(pc)
+        for t in range(len(self.histories) - 1, -1, -1):
+            index, tag = keys[t]
+            entry = self._tables[t][index]
+            if entry is not None and entry.tag == tag:
+                return entry.target
+        return self._base[self._base_index(pc)]
+
+    def predict_and_train(self, pc: int, target: int) -> bool:
+        """Predict, then update with the resolved target.
+
+        Returns True when the target was predicted correctly.  History must
+        be advanced separately via :meth:`on_outcome` (the trace drives it
+        through the owning branch predictor in the pipeline).
+        """
+        keys = self._keys(pc)
+        provider: Optional[int] = None
+        prediction: Optional[int] = None
+        for t in range(len(self.histories) - 1, -1, -1):
+            index, tag = keys[t]
+            entry = self._tables[t][index]
+            if entry is not None and entry.tag == tag:
+                provider = t
+                prediction = entry.target
+                break
+        if prediction is None:
+            prediction = self._base[self._base_index(pc)]
+
+        correct = prediction == target
+        self.lookups += 1
+        if not correct:
+            self.mispredictions += 1
+
+        # Update provider / base.
+        if provider is not None:
+            index, tag = keys[provider]
+            entry = self._tables[provider][index]
+            if entry.target == target:
+                entry.confidence = min(3, entry.confidence + 1)
+                entry.useful = min(3, entry.useful + 1)
+            elif entry.confidence > 0:
+                entry.confidence -= 1
+            else:
+                entry.target = target
+                entry.confidence = 1
+        self._base[self._base_index(pc)] = target
+
+        # Allocate on a mispredict, in a longer-history table.
+        if not correct:
+            start = 0 if provider is None else provider + 1
+            for t in range(start, len(self.histories)):
+                index, tag = keys[t]
+                entry = self._tables[t][index]
+                if entry is None or entry.useful == 0:
+                    self._tables[t][index] = ITtageEntry(tag=tag,
+                                                         target=target)
+                    break
+                entry.useful -= 1
+        return correct
+
+    def on_outcome(self, target: int) -> None:
+        """Push the resolved target into this predictor's own history."""
+        self._ghist.push_indirect(target)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.mispredictions / self.lookups
+
+    @property
+    def storage_bits(self) -> int:
+        entry_bits = self.tag_bits + 32 + 2 + 2  # 32-bit folded target field
+        tagged = sum(len(t) for t in self._tables) * entry_bits
+        return tagged + 32 * len(self._base)

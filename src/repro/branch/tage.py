@@ -1,0 +1,184 @@
+"""A simplified TAGE direction predictor.
+
+This is the front-end predictor used by the timing model (standing in for
+Table I's TAGE-SC-L; we omit the statistical corrector and loop predictor).
+It also serves as the reference implementation of classic TAGE behaviour
+that MASCOT (Sec. IV) modifies: compare :meth:`TAGEBranchPredictor._train`'s
+allocate-on-mispredict policy with MASCOT's non-dependence allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..common.bitops import mask
+from ..common.hashing import table_index, table_tag
+from ..common.history import GlobalHistory
+from .base import BranchPredictor
+
+__all__ = ["TAGEBranchPredictor", "TageEntry"]
+
+
+@dataclass
+class TageEntry:
+    """One tagged TAGE entry: 3-bit signed-ish counter, tag, 2-bit useful."""
+
+    tag: int = 0
+    counter: int = 4          # 3-bit counter, 4 = weakly taken
+    useful: int = 0           # 2-bit usefulness
+    valid: bool = False
+
+    def prediction(self) -> bool:
+        return self.counter >= 4
+
+    def update_counter(self, taken: bool) -> None:
+        if taken:
+            self.counter = min(7, self.counter + 1)
+        else:
+            self.counter = max(0, self.counter - 1)
+
+
+class TAGEBranchPredictor(BranchPredictor):
+    """TAGE with a bimodal base predictor and geometric history lengths."""
+
+    DEFAULT_HISTORIES: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+
+    def __init__(
+        self,
+        histories: Sequence[int] = DEFAULT_HISTORIES,
+        index_bits: int = 10,
+        tag_bits: int = 11,
+        base_index_bits: int = 13,
+        useful_reset_period: int = 256_000,
+        use_ittage: bool = True,
+    ):
+        super().__init__()
+        if any(h <= 0 for h in histories):
+            raise ValueError("history lengths must be positive")
+        if list(histories) != sorted(histories):
+            raise ValueError("history lengths must be increasing")
+        self.histories = tuple(histories)
+        self.index_bits = index_bits
+        self.tag_bits = tag_bits
+        self.base_index_bits = base_index_bits
+        self.useful_reset_period = useful_reset_period
+
+        self._base = [2] * (1 << base_index_bits)  # 2-bit bimodal
+        self._tables: List[List[TageEntry]] = [
+            [TageEntry() for _ in range(1 << index_bits)] for _ in histories
+        ]
+        self._ghist = GlobalHistory(max_bits=max(histories) + 8)
+        self._index_folds = [
+            self._ghist.attach_fold(h, index_bits) for h in histories
+        ]
+        self._tag_folds = [
+            self._ghist.attach_fold(h, tag_bits) for h in histories
+        ]
+        self._tag_folds2 = [
+            self._ghist.attach_fold(h, max(tag_bits - 1, 1)) for h in histories
+        ]
+        self._branch_count = 0
+        # Indirect targets: ITTAGE when enabled (Table I's front end pairs
+        # TAGE-SC-L with an indirect target predictor), else the base
+        # class's last-target fallback.
+        self._ittage = None
+        if use_ittage:
+            from .ittage import ITTAGE
+            self._ittage = ITTAGE()
+        # Per-prediction scratch, filled by _predict, consumed by _train.
+        self._hit_table: Optional[int] = None
+        self._indices: List[int] = []
+        self._tags: List[int] = []
+
+    # -- helpers -------------------------------------------------------------
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 1) & mask(self.base_index_bits)
+
+    def _compute_keys(self, pc: int) -> None:
+        self._indices = [
+            table_index(pc, self.index_bits, fold.value, table_number=t + 1)
+            for t, fold in enumerate(self._index_folds)
+        ]
+        self._tags = [
+            table_tag(pc, self.tag_bits, f1.value, f2.value)
+            for f1, f2 in zip(self._tag_folds, self._tag_folds2)
+        ]
+
+    # -- BranchPredictor interface ---------------------------------------------
+
+    def _predict(self, pc: int) -> bool:
+        self._compute_keys(pc)
+        self._hit_table = None
+        for t in range(len(self.histories) - 1, -1, -1):
+            entry = self._tables[t][self._indices[t]]
+            if entry.valid and entry.tag == self._tags[t]:
+                self._hit_table = t
+                return entry.prediction()
+        return self._base[self._base_index(pc)] >= 2
+
+    def _train(self, pc: int, taken: bool, prediction: bool) -> None:
+        mispredicted = prediction != taken
+        hit = self._hit_table
+
+        if hit is None:
+            idx = self._base_index(pc)
+            counter = self._base[idx]
+            self._base[idx] = min(3, counter + 1) if taken else max(0, counter - 1)
+        else:
+            entry = self._tables[hit][self._indices[hit]]
+            if not mispredicted:
+                entry.useful = min(3, entry.useful + 1)
+            entry.update_counter(taken)
+
+        if mispredicted:
+            self._allocate(taken, hit)
+
+        self._branch_count += 1
+        if self._branch_count % self.useful_reset_period == 0:
+            self._decay_useful()
+        self._ghist.push_conditional(taken)
+
+    def _allocate(self, taken: bool, hit: Optional[int]) -> None:
+        """Allocate one entry in a longer-history table after a mispredict."""
+        start = 0 if hit is None else hit + 1
+        for t in range(start, len(self.histories)):
+            entry = self._tables[t][self._indices[t]]
+            if not entry.valid or entry.useful == 0:
+                entry.valid = True
+                entry.tag = self._tags[t]
+                entry.counter = 4 if taken else 3
+                entry.useful = 0
+                return
+        # All candidates useful: age them so a future allocation succeeds.
+        for t in range(start, len(self.histories)):
+            entry = self._tables[t][self._indices[t]]
+            entry.useful = max(0, entry.useful - 1)
+
+    def _decay_useful(self) -> None:
+        for table in self._tables:
+            for entry in table:
+                entry.useful >>= 1
+
+    def observe_indirect(self, pc: int, target: int) -> bool:
+        """Predict/train the indirect target via ITTAGE when enabled."""
+        if self._ittage is None:
+            return super().observe_indirect(pc, target)
+        correct = self._ittage.predict_and_train(pc, target)
+        self._ittage.on_outcome(target)
+        self._ghist.push_indirect(target)
+        self.stats.indirect_branches += 1
+        if not correct:
+            self.stats.indirect_mispredictions += 1
+        return correct
+
+    @property
+    def storage_bits(self) -> int:
+        """Approximate table storage in bits."""
+        entry_bits = self.tag_bits + 3 + 2 + 1
+        tagged = sum(len(t) for t in self._tables) * entry_bits
+        total = tagged + 2 * len(self._base)
+        if self._ittage is not None:
+            total += self._ittage.storage_bits
+        return total

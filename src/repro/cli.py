@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points so the paper's experiments
+can be reproduced without writing Python:
+
+* ``simulate``  — run one (benchmark, predictor) pair through the timing
+  model and print the statistics.
+* ``compare``   — sweep predictors over benchmarks and print normalised IPC
+  (the Figs. 7/9 harness).
+* ``accuracy``  — prediction-only sweep with the Fig. 8 error taxonomy.
+* ``figure``    — regenerate a specific paper table/figure by name.
+* ``sizes``     — print Table II.
+* ``gen-trace`` — generate and serialise a trace for external use.
+* ``validate``  — check a serialised trace against every consumer
+  invariant (see :mod:`repro.trace.validate`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import GOLDEN_COVE, LION_COVE
+from .experiments import figures
+from .experiments.reporting import render_table
+from .experiments.runner import default_cache, run_timing
+from .experiments.suite import (
+    PREDICTOR_FACTORIES,
+    make_predictor,
+    run_accuracy_suite,
+    run_ipc_suite,
+)
+from .trace import generate_trace, suite_names
+from .trace.stream import read_trace, write_trace
+from .trace.validate import validate_trace
+
+__all__ = ["main"]
+
+_CORES = {"golden-cove": GOLDEN_COVE, "lion-cove": LION_COVE}
+
+_FIGURES = {
+    "fig2": lambda args: figures.fig2_smb_opportunities(args.benchmarks, args.uops),
+    "fig7": lambda args: figures.fig7_ipc_full(args.benchmarks, args.uops),
+    "fig8": lambda args: figures.fig8_mispredictions(args.benchmarks, args.uops),
+    "fig9": lambda args: figures.fig9_ipc_mdp_only(args.benchmarks, args.uops),
+    "fig10": lambda args: figures.fig10_prediction_mix(args.benchmarks, args.uops),
+    "fig11": lambda args: figures.fig11_ablation(args.benchmarks, args.uops),
+    "fig12": lambda args: figures.fig12_future_architectures(args.benchmarks,
+                                                             args.uops),
+    "fig13": lambda args: figures.fig13_table_usage(args.benchmarks, args.uops),
+    "fig14": lambda args: figures.fig14_f1_ranking(args.benchmarks, args.uops),
+    "fig15": lambda args: figures.fig15_mascot_opt(args.benchmarks, args.uops),
+    "table1": lambda args: figures.table1_configuration(),
+    "table2": lambda args: figures.table2_sizes(),
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None, metavar="NAME",
+        help="benchmarks to run (default: the full suite)",
+    )
+    parser.add_argument(
+        "--uops", type=int, default=40_000,
+        help="dynamic micro-ops per benchmark (default: 40000)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MASCOT (HPCA 2025) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="one benchmark, one predictor")
+    simulate.add_argument("benchmark", choices=suite_names())
+    simulate.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    simulate.add_argument("--uops", type=int, default=60_000)
+    simulate.add_argument("--core", choices=sorted(_CORES),
+                          default="golden-cove")
+
+    compare = sub.add_parser("compare", help="normalised-IPC sweep")
+    compare.add_argument(
+        "predictors", nargs="+", choices=sorted(PREDICTOR_FACTORIES),
+    )
+    _add_common(compare)
+    compare.add_argument("--core", choices=sorted(_CORES),
+                         default="golden-cove")
+
+    accuracy = sub.add_parser("accuracy", help="prediction-only error sweep")
+    accuracy.add_argument(
+        "predictors", nargs="+", choices=sorted(PREDICTOR_FACTORIES),
+    )
+    _add_common(accuracy)
+
+    figure = sub.add_parser("figure", help="regenerate a paper table/figure")
+    figure.add_argument("name", choices=sorted(_FIGURES))
+    _add_common(figure)
+
+    sub.add_parser("sizes", help="print Table II")
+
+    gen = sub.add_parser("gen-trace", help="generate and serialise a trace")
+    gen.add_argument("benchmark", choices=suite_names())
+    gen.add_argument("output", help="destination file")
+    gen.add_argument("--uops", type=int, default=100_000)
+    gen.add_argument("--program-seed", type=int, default=0)
+    gen.add_argument("--trace-seed", type=int, default=1)
+
+    check = sub.add_parser("validate", help="validate a serialised trace")
+    check.add_argument("trace_file")
+    check.add_argument("--store-window", type=int, default=114)
+    check.add_argument("--instr-window", type=int, default=512)
+
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    trace = default_cache().get(args.benchmark, args.uops)
+    stats = run_timing(trace, make_predictor(args.predictor),
+                       config=_CORES[args.core])
+    rows = sorted(stats.as_dict().items())
+    print(render_table(["metric", "value"], rows,
+                       title=f"{args.benchmark} / {args.predictor} "
+                             f"on {args.core}"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    suite = run_ipc_suite(args.predictors, args.benchmarks, args.uops,
+                          config=_CORES[args.core])
+    benches = list(next(iter(suite.ipc.values())))
+    rows = []
+    for bench in benches:
+        rows.append([bench] + [
+            f"{suite.normalised(p)[bench]:.4f}" for p in args.predictors
+        ])
+    rows.append(["geomean"] + [
+        f"{suite.geomean(p):.4f}" for p in args.predictors
+    ])
+    print(render_table(["benchmark", *args.predictors], rows,
+                       title="IPC normalised to perfect MDP"))
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    results = run_accuracy_suite(args.predictors, args.benchmarks, args.uops)
+    rows = []
+    for name, per_bench in results.items():
+        total_fd = sum(r.accuracy.false_dependencies
+                       for r in per_bench.values())
+        total_se = sum(r.accuracy.speculative_errors
+                       for r in per_bench.values())
+        total = sum(r.accuracy.mispredictions for r in per_bench.values())
+        rows.append([name, total, total_fd, total_se])
+    print(render_table(
+        ["predictor", "mispredictions", "false dependencies",
+         "speculative errors"],
+        rows, title="Prediction-accuracy sweep (Fig. 8 taxonomy)",
+    ))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    result = _FIGURES[args.name](args)
+    print(result.render())
+    return 0
+
+
+def _cmd_gen_trace(args) -> int:
+    trace = generate_trace(args.benchmark, args.uops,
+                           program_seed=args.program_seed,
+                           trace_seed=args.trace_seed)
+    write_trace(trace, args.output, benchmark=args.benchmark)
+    print(f"wrote {len(trace):,} micro-ops to {args.output}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    trace = read_trace(args.trace_file)
+    report = validate_trace(
+        trace, store_window=args.store_window,
+        instr_window=args.instr_window, strict=False,
+    )
+    print(f"{args.trace_file}: {report.uops:,} micro-ops, "
+          f"{report.loads:,} loads ({report.dependent_loads:,} dependent), "
+          f"{report.stores:,} stores")
+    if report.ok:
+        print("all invariants hold")
+        return 0
+    for error in report.errors:
+        print(f"  ERROR {error}")
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``; returns the exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "accuracy":
+        return _cmd_accuracy(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "sizes":
+        print(figures.table2_sizes().render())
+        return 0
+    if args.command == "gen-trace":
+        return _cmd_gen_trace(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Shared low-level infrastructure: bit ops, counters, history, statistics."""
+
+from .bitops import bits_required, extract_bits, fold_bits, mask, parity, rotate_left
+from .counters import SaturatingCounter
+from .hashing import mix64, table_index, table_tag
+from .history import (
+    INDIRECT_TARGET_BITS,
+    FoldedRegister,
+    GlobalHistory,
+    PathHistory,
+)
+from .statistics import (
+    Histogram,
+    arithmetic_mean,
+    f1_score,
+    geometric_mean,
+    normalise,
+    percent_change,
+)
+
+__all__ = [
+    "bits_required",
+    "extract_bits",
+    "fold_bits",
+    "mask",
+    "parity",
+    "rotate_left",
+    "SaturatingCounter",
+    "mix64",
+    "table_index",
+    "table_tag",
+    "INDIRECT_TARGET_BITS",
+    "FoldedRegister",
+    "GlobalHistory",
+    "PathHistory",
+    "Histogram",
+    "arithmetic_mean",
+    "f1_score",
+    "geometric_mean",
+    "normalise",
+    "percent_change",
+]

@@ -1,0 +1,78 @@
+"""Bit-manipulation helpers shared by predictors and history registers.
+
+All predictor structures in this package (MASCOT, PHAST, NoSQ, the branch
+predictors) index their tables with *folded* combinations of program counters
+and history bits.  These helpers centralise the masking/folding arithmetic so
+that every structure computes indices the same way and the storage-accounting
+code in :mod:`repro.predictors.sizing` can reason about field widths.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "bits_required",
+    "fold_bits",
+    "extract_bits",
+    "rotate_left",
+    "parity",
+]
+
+
+def mask(width: int) -> int:
+    """Return a bit-mask of ``width`` ones (``mask(3) == 0b111``).
+
+    ``width`` must be non-negative; ``mask(0)`` is 0.
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be >= 0, got {width}")
+    return (1 << width) - 1
+
+
+def bits_required(value: int) -> int:
+    """Number of bits needed to represent ``value`` (``0`` needs 1 bit)."""
+    if value < 0:
+        raise ValueError(f"bits_required is defined for non-negative values, got {value}")
+    return max(1, value.bit_length())
+
+
+def fold_bits(value: int, in_width: int, out_width: int) -> int:
+    """XOR-fold the low ``in_width`` bits of ``value`` down to ``out_width`` bits.
+
+    This is the classic TAGE folding operation: the input is split into
+    ``out_width``-bit chunks which are XOR-ed together.  Folding a value into
+    itself (``in_width <= out_width``) simply masks it.
+    """
+    if out_width <= 0:
+        return 0
+    value &= mask(in_width)
+    folded = 0
+    while value:
+        folded ^= value & mask(out_width)
+        value >>= out_width
+    return folded
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Return ``width`` bits of ``value`` starting at bit ``low``."""
+    return (value >> low) & mask(width)
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``."""
+    if width <= 0:
+        return 0
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of ``value`` (0 or 1)."""
+    if value < 0:
+        raise ValueError("parity is defined for non-negative values")
+    result = 0
+    while value:
+        result ^= value & 1
+        value >>= 1
+    return result

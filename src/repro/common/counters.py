@@ -1,0 +1,108 @@
+"""Saturating counters.
+
+MASCOT entries carry two independent saturating counters (a 3-bit usefulness
+counter for MDP confidence and a 2-bit bypass counter for SMB confidence);
+PHAST uses a 4-bit usefulness counter and NoSQ a 7-bit confidence counter.
+This module provides a single well-tested implementation used by all of them.
+"""
+
+from __future__ import annotations
+
+from .bitops import mask
+
+__all__ = ["SaturatingCounter"]
+
+
+class SaturatingCounter:
+    """An unsigned saturating counter of a configurable bit width.
+
+    The counter saturates at ``2**bits - 1`` on increment and at 0 on
+    decrement.  Instances compare equal to their integer value, which keeps
+    predictor code readable (``if entry.usefulness == 0``).
+    """
+
+    __slots__ = ("_bits", "_max", "_value")
+
+    def __init__(self, bits: int, initial: int = 0):
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self._bits = bits
+        self._max = mask(bits)
+        if not 0 <= initial <= self._max:
+            raise ValueError(
+                f"initial value {initial} out of range for a {bits}-bit counter"
+            )
+        self._value = initial
+
+    @property
+    def bits(self) -> int:
+        """Bit width of the counter (used for storage accounting)."""
+        return self._bits
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def maximum(self) -> int:
+        """Largest representable value (the saturation point)."""
+        return self._max
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` (default 1), saturating at the maximum."""
+        if amount < 0:
+            raise ValueError("use decrement() for negative adjustments")
+        self._value = min(self._max, self._value + amount)
+        return self._value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount`` (default 1), saturating at zero."""
+        if amount < 0:
+            raise ValueError("use increment() for positive adjustments")
+        self._value = max(0, self._value - amount)
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the counter to ``value`` (must be representable)."""
+        if not 0 <= value <= self._max:
+            raise ValueError(f"{value} out of range for a {self._bits}-bit counter")
+        self._value = value
+
+    def is_saturated(self) -> bool:
+        return self._value == self._max
+
+    def is_zero(self) -> bool:
+        return self._value == 0
+
+    # Integer-like behaviour -------------------------------------------------
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SaturatingCounter):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other) -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other) -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other) -> bool:
+        return self._value >= int(other)
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._value))
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self._bits}, value={self._value})"

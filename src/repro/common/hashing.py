@@ -1,0 +1,76 @@
+"""Index/tag hash functions for tagged-table predictors.
+
+All the TAGE-like structures in this package compute, per table:
+
+* an **index** selecting a set, from the load PC, a folded window of global
+  history and the path history;
+* a **tag** stored in / compared against the entry, from the same inputs but
+  folded with a different alignment so that index and tag decorrelate.
+
+The exact hash in the paper is unspecified (as is traditional for TAGE
+papers); we follow the standard TAGE recipe of XOR-ing PC shifts with one or
+two differently-folded history registers.
+"""
+
+from __future__ import annotations
+
+from .bitops import fold_bits, mask
+
+__all__ = ["table_index", "table_tag", "mix64"]
+
+
+def mix64(value: int) -> int:
+    """A cheap 64-bit integer mixer (splitmix64 finaliser).
+
+    Used where a software model needs a well-spread hash (e.g. direct-mapped
+    Store Sets SSIT indexing) without pretending to be hardware-exact.
+    """
+    value &= mask(64)
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & mask(64)
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & mask(64)
+    return value ^ (value >> 31)
+
+
+def table_index(
+    pc: int,
+    index_bits: int,
+    folded_index: int,
+    path_history: int = 0,
+    table_number: int = 0,
+) -> int:
+    """Compute a set index for one tagged table.
+
+    ``folded_index`` must already be folded to ``index_bits`` (the caller owns
+    the :class:`~repro.common.history.FoldedRegister`).  The table number is
+    mixed in so that the zero-history table of two different predictors (or
+    two tables with identical history lengths) do not collide systematically.
+    """
+    if index_bits <= 0:
+        return 0
+    pc >>= 1  # instruction alignment
+    value = pc ^ (pc >> index_bits) ^ (pc >> (2 * index_bits))
+    value ^= folded_index
+    value ^= fold_bits(path_history, max(path_history.bit_length(), 1), index_bits)
+    value ^= table_number * 0x9E37  # small odd-ish constant per table
+    return value & mask(index_bits)
+
+
+def table_tag(
+    pc: int,
+    tag_bits: int,
+    folded_tag: int,
+    folded_tag2: int = 0,
+) -> int:
+    """Compute an entry tag for one tagged table.
+
+    Follows the TAGE convention ``tag = pc ^ fold(hist, W) ^ (fold(hist,
+    W-1) << 1)``: the second fold (one bit narrower, shifted left) breaks the
+    symmetry that would otherwise make tag collisions correlate with index
+    collisions.
+    """
+    if tag_bits <= 0:
+        return 0
+    pc >>= 1
+    value = pc ^ (pc >> tag_bits)
+    value ^= folded_tag ^ (folded_tag2 << 1)
+    return value & mask(tag_bits)

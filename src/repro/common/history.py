@@ -1,0 +1,206 @@
+"""Global branch/path history with TAGE-style incremental folding.
+
+MASCOT (Sec. IV-B of the paper) indexes each of its tables with a hash of the
+load PC and an increasing number of global-history bits: one bit per
+conditional branch (taken / not-taken) and five folded target bits per
+indirect branch.  PHAST, NoSQ's path-dependent table and the branch
+predictors use the same substrate.
+
+Folding a long history down to an index width on every lookup is O(history
+length); real TAGE hardware instead keeps *folded registers* that are updated
+incrementally as bits are shifted in.  We implement both: the incremental
+registers are used on the hot path and the naive recomputation
+(:meth:`GlobalHistory.fold_snapshot`) is kept as a test oracle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from .bitops import fold_bits, mask
+
+__all__ = ["FoldedRegister", "GlobalHistory", "PathHistory", "INDIRECT_TARGET_BITS"]
+
+#: Number of folded target bits contributed by an indirect branch (Sec. IV-B:
+#: "for indirect branches we fold the target to 5 bits").
+INDIRECT_TARGET_BITS = 5
+
+
+class FoldedRegister:
+    """Incrementally-folded view of the most recent ``length`` history bits.
+
+    The register holds ``fold_bits(history[:length], length, width)`` at all
+    times; :meth:`update` is O(1) per inserted history bit.
+    """
+
+    __slots__ = ("length", "width", "value", "_evict_shift")
+
+    def __init__(self, length: int, width: int):
+        if length < 0:
+            raise ValueError(f"history length must be >= 0, got {length}")
+        if width <= 0:
+            raise ValueError(f"fold width must be positive, got {width}")
+        self.length = length
+        self.width = width
+        self.value = 0
+        # Bit position (within the folded register) where the bit leaving the
+        # history window lands after length/width folds.
+        self._evict_shift = length % width if length else 0
+
+    def update(self, new_bit: int, evicted_bit: int) -> None:
+        """Shift ``new_bit`` into the window; ``evicted_bit`` falls out."""
+        if self.length == 0:
+            return
+        value = (self.value << 1) | (new_bit & 1)
+        # Fold the carry-out of the shift back into bit 0.
+        value ^= value >> self.width
+        value &= mask(self.width)
+        # Cancel the contribution of the bit that left the window.
+        if evicted_bit:
+            value ^= 1 << self._evict_shift
+            # The eviction position may itself be the top bit; keep in range.
+            value &= mask(self.width)
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FoldedRegister(length={self.length}, width={self.width}, "
+            f"value={self.value:#x})"
+        )
+
+
+class GlobalHistory:
+    """A bounded global-history bit vector plus attached folded registers.
+
+    Conditional branches contribute one bit; indirect branches contribute
+    :data:`INDIRECT_TARGET_BITS` folded bits of their target address.  The
+    most recent bit is logically at position 0.
+    """
+
+    def __init__(self, max_bits: int = 1024):
+        if max_bits <= 0:
+            raise ValueError("max_bits must be positive")
+        self.max_bits = max_bits
+        # _bits[0] is the most recent history bit.
+        self._bits: Deque[int] = deque([0] * max_bits, maxlen=max_bits)
+        self._folds: Dict[Tuple[int, int], FoldedRegister] = {}
+
+    # -- fold management -----------------------------------------------------
+
+    def attach_fold(self, length: int, width: int) -> FoldedRegister:
+        """Return (creating if necessary) the folded register for a window.
+
+        Registers are shared: two tables requesting the same
+        ``(length, width)`` observe the same object, mirroring hardware where
+        one physical folded register serves identical index functions.
+        """
+        if length > self.max_bits:
+            raise ValueError(
+                f"history window {length} exceeds tracked history {self.max_bits}"
+            )
+        key = (length, width)
+        reg = self._folds.get(key)
+        if reg is None:
+            reg = FoldedRegister(length, width)
+            # Bring the new register up to date with the current contents.
+            reg.value = self.fold_snapshot(length, width)
+            self._folds[key] = reg
+        return reg
+
+    # -- updates ---------------------------------------------------------------
+
+    def _push_bit(self, bit: int) -> None:
+        bit &= 1
+        for reg in self._folds.values():
+            evicted = self._bits[reg.length - 1] if reg.length else 0
+            reg.update(bit, evicted)
+        self._bits.appendleft(bit)
+
+    def push_conditional(self, taken: bool) -> None:
+        """Record a conditional branch outcome (1 bit)."""
+        self._push_bit(1 if taken else 0)
+
+    def push_indirect(self, target: int) -> None:
+        """Record an indirect branch: 5 folded bits of the target address."""
+        folded = fold_bits(target, max(target.bit_length(), 1), INDIRECT_TARGET_BITS)
+        for i in range(INDIRECT_TARGET_BITS - 1, -1, -1):
+            self._push_bit((folded >> i) & 1)
+
+    def reset(self) -> None:
+        """Clear all history bits and folded registers."""
+        self._bits = deque([0] * self.max_bits, maxlen=self.max_bits)
+        for reg in self._folds.values():
+            reg.reset()
+
+    # -- reads -----------------------------------------------------------------
+
+    def bits(self, length: int) -> List[int]:
+        """Return the most recent ``length`` bits, newest first."""
+        if length > self.max_bits:
+            raise ValueError(f"requested {length} bits, only {self.max_bits} tracked")
+        out = []
+        it = iter(self._bits)
+        for _ in range(length):
+            out.append(next(it))
+        return out
+
+    def as_int(self, length: int) -> int:
+        """Pack the most recent ``length`` bits into an int (newest = LSB... bit 0)."""
+        value = 0
+        for i, bit in enumerate(self.bits(length)):
+            value |= bit << i
+        return value
+
+    def fold_snapshot(self, length: int, width: int) -> int:
+        """Recompute the fold from scratch (the slow, obviously-correct path).
+
+        :class:`FoldedRegister` inserts new bits at position 0 and shifts
+        older bits upward with wraparound, so a bit of age ``k`` (newest has
+        age 0) contributes at position ``k % width``.  That is exactly
+        ``fold_bits`` applied to the age-indexed bit vector.
+        """
+        if length == 0 or width <= 0:
+            return 0
+        history = 0
+        for age, bit in enumerate(self.bits(length)):
+            history |= bit << age
+        return fold_bits(history, length, width)
+
+    def __repr__(self) -> str:
+        head = "".join(str(b) for b in self.bits(min(16, self.max_bits)))
+        return f"GlobalHistory(newest16={head}, folds={len(self._folds)})"
+
+
+class PathHistory:
+    """Fixed-width register of low PC bits of recent branches.
+
+    IDist (Perais et al.) combines 16 bits of path history with the global
+    branch history; MASCOT's index hash does the same (Fig. 3: "folding the
+    load PC and increasing lengths of the global branch and path history").
+    """
+
+    __slots__ = ("width", "value", "_bits_per_branch")
+
+    def __init__(self, width: int = 16, bits_per_branch: int = 2):
+        if width <= 0:
+            raise ValueError("path history width must be positive")
+        if bits_per_branch <= 0:
+            raise ValueError("bits_per_branch must be positive")
+        self.width = width
+        self.value = 0
+        self._bits_per_branch = bits_per_branch
+
+    def push(self, pc: int) -> None:
+        """Shift in the low bits of a branch PC."""
+        chunk = (pc >> 1) & mask(self._bits_per_branch)
+        self.value = ((self.value << self._bits_per_branch) | chunk) & mask(self.width)
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"PathHistory(width={self.width}, value={self.value:#x})"

@@ -1,0 +1,83 @@
+"""Load-store unit semantics: timing records for in-flight stores.
+
+The pipeline keeps one :class:`StoreTiming` per in-flight store.  Loads use
+them to decide, exactly as the LQ/SB snooping hardware of Sec. V does:
+
+* whether issuing at a given cycle constitutes a **memory-order violation**
+  (the conflicting store's address was still unknown → squash when the
+  store resolves);
+* when a **store-to-load forwarding** value becomes available (store issued
+  with address and data — Sec. V: "stores are issued once both the address
+  and the data registers are ready");
+* when an **SMB bypass** value is available (the store's data register is
+  ready, address not required — the whole point of bypassing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["StoreTiming", "StoreWindow"]
+
+
+@dataclass
+class StoreTiming:
+    """Timing facts about one dynamic store."""
+
+    seq: int
+    pc: int
+    #: Cycle its address is resolved (AGU done, LQ snoop possible).
+    addr_resolve: int
+    #: Cycle its data register is ready (bypassable from here).
+    data_ready: int
+    #: Cycle it leaves the store buffer (no forwarding afterwards).
+    drain: int
+    #: Running branch count at dispatch (for PHAST's branches-between).
+    branch_count: int
+
+    @property
+    def forward_ready(self) -> int:
+        """Earliest cycle a younger load can obtain the value via the SB."""
+        return max(self.addr_resolve, self.data_ready)
+
+
+class StoreWindow:
+    """Recency-ordered window of in-flight stores.
+
+    Provides distance→store resolution (MASCOT/PHAST/NoSQ predictions name
+    stores by store-queue offset) and per-seq lookup (Store Sets and the
+    ground-truth annotations name stores by dynamic sequence number).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._recent: List[int] = []       # seqs, oldest first
+        self._by_seq: Dict[int, StoreTiming] = {}
+
+    def add(self, timing: StoreTiming) -> None:
+        self._recent.append(timing.seq)
+        self._by_seq[timing.seq] = timing
+        if len(self._recent) > self.capacity:
+            dead = self._recent.pop(0)
+            self._by_seq.pop(dead, None)
+
+    def by_seq(self, seq: Optional[int]) -> Optional[StoreTiming]:
+        if seq is None:
+            return None
+        return self._by_seq.get(seq)
+
+    def by_distance(self, distance: int) -> Optional[StoreTiming]:
+        """The ``distance``-th youngest store (1 = most recent), if tracked."""
+        if distance <= 0 or distance > len(self._recent):
+            return None
+        return self._by_seq[self._recent[-distance]]
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+    def reset(self) -> None:
+        self._recent.clear()
+        self._by_seq.clear()

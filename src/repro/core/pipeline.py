@@ -1,0 +1,440 @@
+"""Trace-driven out-of-order timing model.
+
+This is the substitute for the paper's Sniper+GEMS cycle-level simulator
+(see DESIGN.md).  It is a *constraint-based scoreboard*: micro-ops are
+processed in program order and each one's fetch / dispatch / issue /
+complete / commit cycles are computed from
+
+* front-end bandwidth and redirect barriers (branch mispredictions,
+  memory-order squashes, bypass-verification squashes),
+* window occupancy (ROB, IQ, LQ, SB — an op cannot dispatch until the entry
+  it reuses has been released),
+* dataflow readiness (producer value-ready times),
+* execution-port contention (pipelined pools per class), and
+* the memory-dependence predictor's decision for every load (Fig. 5's
+  three-way prediction and its consequences).
+
+The model captures exactly the phenomena the paper measures: loads stalled
+by (possibly false) predicted dependencies, squashes from missed or
+misdirected dependencies, store-to-load forwarding, and SMB making a load's
+value available to consumers as soon as the store's *data* is ready —
+before either address is known.  Absolute IPC is approximate; relative IPC
+between predictor schemes on the same trace is the quantity of interest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.accuracy import DEFAULT_BYPASSABLE, Outcome, OutcomeKind, classify
+from ..branch.base import BranchPredictor
+from ..branch.tage import TAGEBranchPredictor
+from ..memory.hierarchy import MemoryHierarchy
+from ..predictors.base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from ..trace.uop import MicroOp, OpClass
+from .config import GOLDEN_COVE, CoreConfig
+from .lsu import StoreTiming, StoreWindow
+from .ports import PortSet
+from .stats import PipelineStats
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """One core, one trace, one memory-dependence predictor."""
+
+    def __init__(
+        self,
+        predictor: MDPredictor,
+        config: CoreConfig = GOLDEN_COVE,
+        branch_predictor: Optional[BranchPredictor] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        record_timeline: bool = False,
+    ):
+        self.config = config
+        self.predictor = predictor
+        self.branch_predictor = branch_predictor or TAGEBranchPredictor()
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.ports = PortSet(config.load_ports, config.store_ports,
+                             config.alu_ports, config.fp_ports)
+        self.stats = PipelineStats()
+
+        # Front-end state.
+        self._fetch_cycle = 0
+        self._fetch_slots = 0
+        self._barrier = 0
+
+        # Commit state.
+        self._commit_cycle = 0
+        self._commit_slots = 0
+
+        # Per-uop timing history (indexed by seq).
+        self._value_ready: List[int] = []
+        self._issue_times: List[int] = []
+        self._commit_times: List[int] = []
+
+        # Per-class occupancy histories for LQ/SB release constraints.
+        self._load_commits: List[int] = []
+        self._store_drains: List[int] = []
+
+        # In-flight store tracking.
+        self._stores = StoreWindow(capacity=max(config.sb_size * 2, 256))
+        self._branch_count = 0
+        # Warmup boundary (see run()); _measuring is refreshed per uop.
+        self._measure_from = 0
+        self._measuring = True
+        # Optional per-uop event capture (see timeline()).
+        self._record_timeline = record_timeline
+        self._fetch_times: List[int] = []
+        self._dispatch_times: List[int] = []
+        self._complete_times: List[int] = []
+
+    # ------------------------------------------------------------ front end
+
+    def _fetch(self, seq: int) -> int:
+        """Assign a fetch cycle honouring width and redirect barriers."""
+        if self._barrier > self._fetch_cycle:
+            self._fetch_cycle = self._barrier
+            self._fetch_slots = 0
+        cycle = self._fetch_cycle
+        self._fetch_slots += 1
+        if self._fetch_slots >= self.config.fetch_width:
+            self._fetch_cycle += 1
+            self._fetch_slots = 0
+        return cycle
+
+    def _redirect(self, cycle: int) -> None:
+        """Redirect the front end: later uops fetch from ``cycle`` on."""
+        if cycle > self._barrier:
+            self._barrier = cycle
+
+    def _dispatch(self, seq: int, fetch: int, uop: MicroOp) -> int:
+        """Rename/dispatch cycle after window-occupancy constraints."""
+        cfg = self.config
+        dispatch = fetch + cfg.frontend_latency
+        rob_victim = seq - cfg.rob_size
+        if rob_victim >= 0:
+            dispatch = max(dispatch, self._commit_times[rob_victim])
+        iq_victim = seq - cfg.iq_size
+        if iq_victim >= 0:
+            dispatch = max(dispatch, self._issue_times[iq_victim])
+        if uop.is_load and len(self._load_commits) >= cfg.lq_size:
+            dispatch = max(dispatch, self._load_commits[-cfg.lq_size])
+        if uop.is_store and len(self._store_drains) >= cfg.sb_size:
+            dispatch = max(dispatch, self._store_drains[-cfg.sb_size])
+        return dispatch
+
+    def _sources_ready(self, uop: MicroOp) -> int:
+        ready = 0
+        for src in uop.srcs:
+            t = self._value_ready[src]
+            if t > ready:
+                ready = t
+        return ready
+
+    def _address_ready(self, uop: MicroOp, dispatch: int) -> int:
+        """When a memory op's address operand is available."""
+        ready = dispatch + 1
+        if uop.addr_src is not None:
+            t = self._value_ready[uop.addr_src]
+            if t > ready:
+                ready = t
+        return ready
+
+    # ---------------------------------------------------------------- commit
+
+    def _commit(self, complete: int) -> int:
+        """In-order commit with commit-width limiting."""
+        cycle = complete + 1
+        if cycle < self._commit_cycle:
+            cycle = self._commit_cycle
+        if cycle > self._commit_cycle:
+            self._commit_cycle = cycle
+            self._commit_slots = 0
+        self._commit_slots += 1
+        if self._commit_slots >= self.config.commit_width:
+            self._commit_cycle += 1
+            self._commit_slots = 0
+        return cycle
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, trace: Sequence[MicroOp],
+            measure_from: int = 0) -> PipelineStats:
+        """Simulate the trace; returns (and stores) the statistics.
+
+        ``measure_from`` designates a warmup prefix: micro-ops before that
+        sequence number execute normally (training predictors, warming
+        caches) but are excluded from IPC and accuracy statistics — the
+        warmed-measurement discipline of the paper's SimPoint methodology.
+        """
+        if self._commit_times:
+            raise RuntimeError(
+                "Pipeline instances are single-use: construct a new "
+                "Pipeline per run (predictor and cache state would "
+                "otherwise leak between traces)"
+            )
+        if not 0 <= measure_from <= len(trace):
+            raise ValueError(
+                f"measure_from {measure_from} outside trace of {len(trace)}"
+            )
+        self._measure_from = measure_from
+        for uop in trace:
+            self._step(uop)
+        measured = len(trace) - measure_from
+        self.stats.instructions = measured
+        start_cycle = (
+            self._commit_times[measure_from - 1] if measure_from > 0 else 0
+        )
+        self.stats.cycles = max(self._commit_cycle - start_cycle, 1)
+        self.stats.accuracy.instructions = max(measured, 1)
+        self.stats.branch_mispredictions = (
+            self.branch_predictor.stats.mispredictions
+        )
+        self.stats.indirect_mispredictions = (
+            self.branch_predictor.stats.indirect_mispredictions
+        )
+        return self.stats
+
+    def _step(self, uop: MicroOp) -> None:
+        cfg = self.config
+        self._measuring = uop.seq >= self._measure_from
+        fetch = self._fetch(uop.seq)
+        dispatch = self._dispatch(uop.seq, fetch, uop)
+        ready = self._sources_ready(uop)
+        earliest_issue = max(dispatch + 1, ready)
+
+        # Sec. VI-A's consumer-wait metric: cycles an op that consumes at
+        # least one load value spends in the issue stage waiting on sources.
+        if self._measuring and uop.srcs and uop.op in (
+            OpClass.ALU, OpClass.MUL, OpClass.DIV, OpClass.FP
+        ):
+            self.stats.load_consumers += 1
+            self.stats.load_consumer_wait_cycles += max(
+                0, ready - (dispatch + 1)
+            )
+
+        if uop.op is OpClass.ALU:
+            issue = self.ports.alu.issue(earliest_issue)
+            complete = issue + cfg.alu_latency
+            value = complete
+        elif uop.op is OpClass.MUL:
+            issue = self.ports.alu.issue(earliest_issue)
+            complete = issue + cfg.mul_latency
+            value = complete
+        elif uop.op is OpClass.DIV:
+            issue = self.ports.alu.issue(earliest_issue,
+                                         occupancy=cfg.div_latency)
+            complete = issue + cfg.div_latency
+            value = complete
+        elif uop.op is OpClass.FP:
+            issue = self.ports.fp.issue(earliest_issue)
+            complete = issue + cfg.fp_latency
+            value = complete
+        elif uop.op is OpClass.BRANCH_COND:
+            issue = self.ports.alu.issue(earliest_issue)
+            complete = issue + cfg.branch_latency
+            value = complete
+            if self._measuring:
+                self.stats.branches += 1
+            correct = self.branch_predictor.predict_and_train(
+                uop.pc, uop.taken
+            )
+            if not correct:
+                self._redirect(complete + 1)
+            self.predictor.on_branch(uop.pc, uop.taken)
+            self._branch_count += 1
+        elif uop.op is OpClass.BRANCH_INDIRECT:
+            issue = self.ports.alu.issue(earliest_issue)
+            complete = issue + cfg.branch_latency
+            value = complete
+            if self._measuring:
+                self.stats.branches += 1
+            correct = self.branch_predictor.observe_indirect(uop.pc, uop.target)
+            if not correct:
+                self._redirect(complete + 1)
+            self.predictor.on_indirect(uop.pc, uop.target)
+            self._branch_count += 1
+        elif uop.op is OpClass.STORE:
+            issue, complete, value = self._step_store(uop, dispatch, ready)
+        elif uop.op is OpClass.LOAD:
+            issue, complete, value = self._step_load(uop, dispatch, ready)
+        else:  # NOP
+            issue = earliest_issue
+            complete = issue
+            value = complete
+
+        commit = self._commit(complete)
+        self._issue_times.append(issue)
+        self._commit_times.append(commit)
+        self._value_ready.append(value)
+        if self._record_timeline:
+            self._fetch_times.append(fetch)
+            self._dispatch_times.append(dispatch)
+            self._complete_times.append(complete)
+        if uop.is_load:
+            self._load_commits.append(commit)
+        if uop.is_store:
+            self._store_drains.append(commit + cfg.sb_drain_latency)
+
+    # ---------------------------------------------------------------- stores
+
+    def _step_store(self, uop: MicroOp, dispatch: int, data_ready: int):
+        cfg = self.config
+        if self._measuring:
+            self.stats.stores += 1
+        # The predictor may serialise this store behind an older one in its
+        # store set (Store Sets' LFST chaining).
+        ordering_constraint = self.predictor.on_store(uop)
+        addr_ready = self._address_ready(uop, dispatch)
+        if ordering_constraint is not None:
+            older = self._stores.by_seq(ordering_constraint)
+            if older is not None and older.addr_resolve + 1 > addr_ready:
+                addr_ready = older.addr_resolve + 1
+        # Address generation waits only for the address operand, not data.
+        agu_issue = self.ports.store.issue(addr_ready)
+        addr_resolve = agu_issue + cfg.agu_latency
+        data_avail = max(data_ready, dispatch + 1)
+        complete = max(addr_resolve, data_avail)
+        self.hierarchy.store_probe(uop.address)
+        # The drain time is filled in after commit; store a provisional
+        # record now so younger loads can snoop it.
+        timing = StoreTiming(
+            seq=uop.seq, pc=uop.pc,
+            addr_resolve=addr_resolve,
+            data_ready=data_avail,
+            drain=complete + cfg.sb_drain_latency + 64,  # refined below
+            branch_count=self._branch_count,
+        )
+        self._stores.add(timing)
+        return agu_issue, complete, complete
+
+    # ----------------------------------------------------------------- loads
+
+    def _step_load(self, uop: MicroOp, dispatch: int, ready: int):
+        cfg = self.config
+        if self._measuring:
+            self.stats.loads += 1
+        prediction = self.predictor.predict(uop)
+        addr_ready = max(self._address_ready(uop, dispatch), ready)
+
+        # Resolve the predicted store to a timing record, if any.
+        target: Optional[StoreTiming] = None
+        if prediction.predicts_dependence:
+            if prediction.store_seq is not None:
+                target = self._stores.by_seq(prediction.store_seq)
+            else:
+                target = self._stores.by_distance(prediction.distance)
+
+        # Issue constraint from the prediction (Fig. 5 actions).
+        wait_until = addr_ready
+        if prediction.kind is not PredictionKind.NO_DEP and target is not None:
+            hold = target.addr_resolve
+            if prediction.meta.get("conservative"):
+                hold += 1  # the oracle's +1-cycle serialisation (Sec. VI-A)
+            if hold > wait_until:
+                if self._measuring:
+                    self.stats.loads_stalled_by_prediction += 1
+                wait_until = hold
+
+        issue = self.ports.load.issue(wait_until)
+
+        # Ground truth.
+        actual_store = self._stores.by_seq(uop.dep_store_seq)
+        actual = self._actual_outcome(uop, actual_store)
+        outcome = classify(prediction, actual,
+                           self.predictor.bypassable_classes)
+        if self._measuring:
+            self.stats.accuracy.record(outcome)
+
+        # Execute the load against SB / cache.
+        squash_at: Optional[int] = None
+        if uop.has_dependence and actual_store is not None:
+            if issue < actual_store.addr_resolve:
+                # Memory-order violation: the conflicting store's address
+                # was unknown when the load issued.  Detected when the store
+                # resolves; load and younger ops squash and re-execute.
+                squash_at = actual_store.addr_resolve + 1
+                complete = (
+                    max(squash_at + cfg.squash_overhead,
+                        actual_store.forward_ready)
+                    + cfg.forward_latency
+                )
+            else:
+                # Store-to-load forwarding through the SB.
+                if self._measuring:
+                    self.stats.loads_forwarded += 1
+                complete = (
+                    max(issue, actual_store.forward_ready)
+                    + cfg.forward_latency
+                )
+        else:
+            complete = self.hierarchy.timed_load(
+                uop.pc, uop.address, issue + cfg.agu_latency - 1
+            )
+
+        value = complete
+
+        # Speculative memory bypassing (Fig. 5's right-hand side).
+        if prediction.kind is PredictionKind.SMB and target is not None:
+            if outcome.kind is OutcomeKind.CORRECT_SMB:
+                # Consumers obtain the store's data register directly; the
+                # load still executes to verify (its own completion stands).
+                if self._measuring:
+                    self.stats.loads_bypassed += 1
+                bypass_value = max(target.data_ready + 1, dispatch + 1)
+                if bypass_value < value:
+                    value = bypass_value
+            else:
+                # Wrong value delivered: verification fails when the load's
+                # own access completes (or earlier, on the address check).
+                addr_check = max(issue, target.addr_resolve) + 1
+                verify = min(complete, max(addr_check, issue + 1))
+                squash_at = max(squash_at or 0, verify)
+                complete = max(complete, verify + cfg.squash_overhead)
+                value = complete
+
+        if squash_at is not None:
+            if self._measuring:
+                self.stats.memory_squashes += 1
+            self._redirect(squash_at + cfg.squash_overhead)
+
+        # Commit-time training.
+        self.predictor.train(uop, prediction, actual)
+        return issue, complete, value
+
+    def _actual_outcome(self, uop: MicroOp,
+                        actual_store: Optional[StoreTiming]) -> ActualOutcome:
+        branches_between = 0
+        store_pc = None
+        if uop.has_dependence:
+            if actual_store is not None:
+                branches_between = self._branch_count - actual_store.branch_count
+                store_pc = actual_store.pc
+        return ActualOutcome.from_uop(
+            uop, branches_between=branches_between, store_pc=store_pc
+        )
+
+    def timeline(self, trace: Optional[Sequence[MicroOp]] = None):
+        """Return the recorded :class:`~repro.core.timeline.Timeline`.
+
+        Requires construction with ``record_timeline=True``.
+        """
+        from .timeline import Timeline, UopTiming
+
+        if not self._record_timeline:
+            raise RuntimeError(
+                "pipeline was not constructed with record_timeline=True"
+            )
+        timings = [
+            UopTiming(
+                seq=i,
+                fetch=self._fetch_times[i],
+                dispatch=self._dispatch_times[i],
+                issue=max(self._issue_times[i], self._dispatch_times[i]),
+                complete=max(self._complete_times[i], self._issue_times[i]),
+                commit=self._commit_times[i],
+            )
+            for i in range(len(self._commit_times))
+        ]
+        return Timeline(timings, trace)

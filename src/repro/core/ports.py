@@ -1,0 +1,64 @@
+"""Issue-port contention model.
+
+Each execution-port class (load AGU, store AGU, ALU, FP) is a small pool of
+fully-pipelined units.  An operation ready at cycle ``t`` issues on the port
+that frees earliest, at ``max(t, port_free)``; the port is then busy for one
+cycle (initiation interval 1), except unpipelined dividers which hold their
+port for the full latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["PortPool", "PortSet"]
+
+
+class PortPool:
+    """A pool of identical, pipelined execution ports."""
+
+    __slots__ = ("name", "_free_at")
+
+    def __init__(self, name: str, count: int):
+        if count <= 0:
+            raise ValueError(f"port pool {name!r} needs at least one port")
+        self.name = name
+        self._free_at: List[int] = [0] * count
+
+    def issue(self, ready: int, occupancy: int = 1) -> int:
+        """Issue an op ready at ``ready``; returns the actual issue cycle.
+
+        ``occupancy`` is how long the port stays busy (1 for pipelined ops,
+        the full latency for unpipelined ones like divides).
+        """
+        best = 0
+        best_free = self._free_at[0]
+        for i in range(1, len(self._free_at)):
+            if self._free_at[i] < best_free:
+                best = i
+                best_free = self._free_at[i]
+        issue_cycle = ready if ready > best_free else best_free
+        self._free_at[best] = issue_cycle + occupancy
+        return issue_cycle
+
+    @property
+    def count(self) -> int:
+        return len(self._free_at)
+
+    def reset(self) -> None:
+        self._free_at = [0] * len(self._free_at)
+
+
+class PortSet:
+    """The full complement of execution ports of one core."""
+
+    def __init__(self, load_ports: int, store_ports: int, alu_ports: int,
+                 fp_ports: int):
+        self.load = PortPool("load", load_ports)
+        self.store = PortPool("store", store_ports)
+        self.alu = PortPool("alu", alu_ports)
+        self.fp = PortPool("fp", fp_ports)
+
+    def reset(self) -> None:
+        for pool in (self.load, self.store, self.alu, self.fp):
+            pool.reset()

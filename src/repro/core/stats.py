@@ -1,0 +1,83 @@
+"""Aggregate statistics produced by one timing-model run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..analysis.accuracy import AccuracyStats
+
+__all__ = ["PipelineStats"]
+
+
+@dataclass
+class PipelineStats:
+    """Counters and derived metrics from a pipeline simulation."""
+
+    instructions: int = 0
+    cycles: int = 0
+
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+
+    branch_mispredictions: int = 0
+    indirect_mispredictions: int = 0
+
+    #: Memory-order violations / bypass-verification failures → full squash.
+    memory_squashes: int = 0
+    #: Loads delayed by a (true or false) predicted dependence.
+    loads_stalled_by_prediction: int = 0
+    #: Loads whose value was delivered through speculative memory bypassing.
+    loads_bypassed: int = 0
+    #: Loads that obtained their value by store-to-load forwarding.
+    loads_forwarded: int = 0
+
+    #: Cycles consumers of loads spent waiting for their source values
+    #: (the perlbench2 analysis of Sec. VI-A).
+    load_consumer_wait_cycles: int = 0
+    load_consumers: int = 0
+
+    accuracy: AccuracyStats = field(default_factory=AccuracyStats)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.branch_mispredictions / self.instructions
+
+    @property
+    def squash_pki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.memory_squashes / self.instructions
+
+    @property
+    def mean_consumer_wait(self) -> float:
+        """Average issue-stage wait of load consumers (Sec. VI-A metric)."""
+        if self.load_consumers == 0:
+            return 0.0
+        return self.load_consumer_wait_cycles / self.load_consumers
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "branch_mpki": self.branch_mpki,
+            "memory_squashes": self.memory_squashes,
+            "loads_stalled": self.loads_stalled_by_prediction,
+            "loads_bypassed": self.loads_bypassed,
+            "loads_forwarded": self.loads_forwarded,
+            "mdp_mispredictions": self.accuracy.mispredictions,
+            "mean_consumer_wait": self.mean_consumer_wait,
+        }

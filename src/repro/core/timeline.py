@@ -1,0 +1,111 @@
+"""Per-micro-op timing capture and text visualisation.
+
+``Pipeline(record_timeline=True)`` keeps every micro-op's fetch / dispatch /
+issue / complete / commit cycles; :class:`Timeline` then renders classic
+pipeline diagrams for a window of the trace — the primary debugging aid
+when reasoning about why a predictor decision did or did not pay off::
+
+    seq    op       F      D      I      C      R   |FFFF DD..IIII CC R
+    812    load     100    110    115    120    121 |
+
+The renderer compresses cycles so a window fits a terminal, and annotates
+loads with their prediction outcome when given the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..trace.uop import MicroOp
+
+__all__ = ["UopTiming", "Timeline"]
+
+
+@dataclass(frozen=True)
+class UopTiming:
+    """The five pipeline events of one micro-op."""
+
+    seq: int
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    commit: int
+
+    def __post_init__(self) -> None:
+        if not (self.fetch <= self.dispatch <= self.issue
+                <= self.complete < self.commit):
+            raise ValueError(
+                f"uop {self.seq}: event times out of order "
+                f"({self.fetch}/{self.dispatch}/{self.issue}/"
+                f"{self.complete}/{self.commit})"
+            )
+
+    @property
+    def latency(self) -> int:
+        """Fetch-to-commit lifetime in cycles."""
+        return self.commit - self.fetch
+
+
+class Timeline:
+    """A recorded run's event times with window rendering."""
+
+    def __init__(self, timings: Sequence[UopTiming],
+                 trace: Optional[Sequence[MicroOp]] = None):
+        self._timings = list(timings)
+        self._trace = list(trace) if trace is not None else None
+        if self._trace is not None and len(self._trace) != len(self._timings):
+            raise ValueError("trace and timings lengths differ")
+
+    def __len__(self) -> int:
+        return len(self._timings)
+
+    def __getitem__(self, seq: int) -> UopTiming:
+        return self._timings[seq]
+
+    def mean_latency(self) -> float:
+        if not self._timings:
+            return 0.0
+        return sum(t.latency for t in self._timings) / len(self._timings)
+
+    def slowest(self, count: int = 10) -> List[UopTiming]:
+        """The micro-ops with the longest fetch-to-commit lifetimes."""
+        return sorted(self._timings, key=lambda t: -t.latency)[:count]
+
+    def render(self, start: int, end: int, width: int = 64) -> str:
+        """ASCII pipeline diagram for uops ``start..end-1``.
+
+        Stages: F fetch→dispatch, D dispatch→issue, I issue→complete,
+        C complete→commit (each glyph covers >= 1 compressed cycle).
+        """
+        if start < 0 or end > len(self._timings) or start >= end:
+            raise ValueError(f"bad window [{start}, {end})")
+        window = self._timings[start:end]
+        first = min(t.fetch for t in window)
+        last = max(t.commit for t in window)
+        span = max(last - first, 1)
+        scale = max(span / width, 1.0)
+
+        def col(cycle: int) -> int:
+            return min(int((cycle - first) / scale), width - 1)
+
+        lines = [
+            f"cycles {first}..{last} "
+            f"({span} cycles, {scale:.1f} cycles/column)"
+        ]
+        for timing in window:
+            row = [" "] * width
+            for lo, hi, glyph in (
+                (timing.fetch, timing.dispatch, "F"),
+                (timing.dispatch, timing.issue, "D"),
+                (timing.issue, timing.complete, "I"),
+                (timing.complete, timing.commit, "C"),
+            ):
+                for c in range(col(lo), max(col(hi), col(lo) + 1)):
+                    row[c] = glyph
+            label = f"{timing.seq:6d}"
+            if self._trace is not None:
+                label += f" {self._trace[timing.seq].op.value:<15s}"
+            lines.append(f"{label} |{''.join(row)}|")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""Experiment harness: runners, suite sweeps and figure regeneration."""
+
+from .figures import (
+    fig2_smb_opportunities,
+    fig7_ipc_full,
+    fig8_mispredictions,
+    fig9_ipc_mdp_only,
+    fig10_prediction_mix,
+    fig11_ablation,
+    fig12_future_architectures,
+    fig13_table_usage,
+    fig14_f1_ranking,
+    fig15_mascot_opt,
+    table1_configuration,
+    table2_sizes,
+)
+from .export import export_csv, to_csv_rows
+from .reporting import csv_lines, format_percent, render_series, render_table
+from .runner import (
+    DEFAULT_TRACE_LENGTH,
+    PredictionRunResult,
+    TraceCache,
+    default_cache,
+    run_prediction_only,
+    run_timing,
+)
+from .sweeps import CoreSweepPoint, CoreSweepResult, sweep_core_parameter
+from .suite import (
+    PREDICTOR_FACTORIES,
+    IpcSuiteResult,
+    make_predictor,
+    run_accuracy_suite,
+    run_ipc_suite,
+)
+
+__all__ = [
+    "fig2_smb_opportunities",
+    "fig7_ipc_full",
+    "fig8_mispredictions",
+    "fig9_ipc_mdp_only",
+    "fig10_prediction_mix",
+    "fig11_ablation",
+    "fig12_future_architectures",
+    "fig13_table_usage",
+    "fig14_f1_ranking",
+    "fig15_mascot_opt",
+    "table1_configuration",
+    "table2_sizes",
+    "csv_lines",
+    "export_csv",
+    "to_csv_rows",
+    "format_percent",
+    "render_series",
+    "render_table",
+    "DEFAULT_TRACE_LENGTH",
+    "PredictionRunResult",
+    "TraceCache",
+    "default_cache",
+    "run_prediction_only",
+    "run_timing",
+    "CoreSweepPoint",
+    "CoreSweepResult",
+    "sweep_core_parameter",
+    "PREDICTOR_FACTORIES",
+    "IpcSuiteResult",
+    "make_predictor",
+    "run_accuracy_suite",
+    "run_ipc_suite",
+]

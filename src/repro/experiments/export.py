@@ -1,0 +1,83 @@
+"""CSV export of figure results.
+
+Each figure result object renders human-readable text; this module flattens
+the same data into CSV rows for plotting outside the repository (the
+paper's bar charts are one pandas/matplotlib call away from these files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from .figures import (
+    Fig2Result,
+    Fig8Result,
+    Fig10Result,
+    Fig13Result,
+    IpcFigureResult,
+)
+from .reporting import csv_lines
+
+__all__ = ["export_csv", "to_csv_rows"]
+
+
+def to_csv_rows(result) -> List[List[object]]:
+    """Flatten a figure result into header+rows (dispatch on type)."""
+    if isinstance(result, IpcFigureResult):
+        rows: List[List[object]] = [["benchmark", *result.predictors]]
+        benches = list(next(iter(result.suite.ipc.values())).keys())
+        for bench in benches:
+            rows.append([bench] + [
+                round(result.normalised(p)[bench], 6)
+                for p in result.predictors
+            ])
+        rows.append(["geomean"] + [
+            round(result.geomean(p), 6) for p in result.predictors
+        ])
+        return rows
+
+    if isinstance(result, Fig2Result):
+        buckets = ["DirectBypass", "NoOffset", "Offset", "MDP Only"]
+        rows = [["benchmark", *buckets]]
+        for bench, per in result.percentages.items():
+            rows.append([bench] + [round(per[b], 4) for b in buckets])
+        return rows
+
+    if isinstance(result, Fig8Result):
+        rows = [["predictor", "total", "false_dependencies",
+                 "speculative_errors"]]
+        for name in result.totals:
+            rows.append([name, result.totals[name],
+                         result.false_dependencies[name],
+                         result.speculative_errors[name]])
+        return rows
+
+    if isinstance(result, Fig10Result):
+        kinds = ["no_dep", "mdp", "smb"]
+        rows = [["benchmark"]
+                + [f"pred_{k}" for k in kinds]
+                + [f"mis_{k}" for k in kinds]]
+        for bench in result.prediction_mix:
+            pred = result.prediction_mix[bench]
+            mis = result.misprediction_mix[bench]
+            rows.append([bench]
+                        + [round(pred[k], 4) for k in kinds]
+                        + [round(mis[k], 4) for k in kinds])
+        return rows
+
+    if isinstance(result, Fig13Result):
+        rows = [["source", "percent"]]
+        for label, share in zip(result.labels, result.shares):
+            rows.append([label, round(share, 4)])
+        return rows
+
+    raise TypeError(f"no CSV flattening for {type(result).__name__}")
+
+
+def export_csv(result, destination: Union[str, Path]) -> Path:
+    """Write a figure result as CSV; returns the path written."""
+    rows = to_csv_rows(result)
+    path = Path(destination)
+    path.write_text("\n".join(csv_lines(rows[0], rows[1:])) + "\n")
+    return path

@@ -1,0 +1,533 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figN`` / ``tableN`` function runs the required simulations and
+returns a small result object with the figure's data plus a ``render()``
+method printing the same rows/series the paper reports.  The per-experiment
+index in DESIGN.md maps each function to its bench target.
+
+All functions accept ``benchmarks`` and ``num_uops`` so tests and benches
+can run reduced versions; defaults reproduce the full suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.accuracy import AccuracyStats
+from ..analysis.f1 import RankedF1Profile, merge_profiles
+from ..common.statistics import Histogram, geometric_mean
+from ..core.config import GOLDEN_COVE, LION_COVE, CoreConfig
+from ..predictors.configs import MASCOT_DEFAULT, MASCOT_OPT, mascot_opt_reduced_tags
+from ..predictors.mascot import Mascot
+from ..predictors.sizing import PredictorSizing, table2_rows
+from ..trace.profiles import suite_names
+from ..trace.uop import BypassClass
+from .reporting import format_percent, render_table
+from .runner import (
+    DEFAULT_TRACE_LENGTH,
+    default_cache,
+    run_prediction_only,
+    run_timing,
+)
+from .suite import IpcSuiteResult, make_predictor, run_accuracy_suite, run_ipc_suite
+
+__all__ = [
+    "fig2_smb_opportunities",
+    "table1_configuration",
+    "table2_sizes",
+    "fig7_ipc_full",
+    "fig8_mispredictions",
+    "fig9_ipc_mdp_only",
+    "fig10_prediction_mix",
+    "fig11_ablation",
+    "fig12_future_architectures",
+    "fig13_table_usage",
+    "fig14_f1_ranking",
+    "fig15_mascot_opt",
+]
+
+_SMB_BUCKETS = ("DirectBypass", "NoOffset", "Offset", "MDP Only")
+_CLASS_TO_BUCKET = {
+    BypassClass.DIRECT: "DirectBypass",
+    BypassClass.NO_OFFSET: "NoOffset",
+    BypassClass.OFFSET: "Offset",
+    BypassClass.MDP_ONLY: "MDP Only",
+}
+
+
+# --------------------------------------------------------------------- Fig. 2
+
+@dataclass
+class Fig2Result:
+    """Per-benchmark SMB-opportunity histograms as % of executed loads."""
+
+    percentages: Dict[str, Dict[str, float]]  # bench -> bucket -> %
+
+    def render(self) -> str:
+        rows = [
+            [bench] + [f"{per[b]:.1f}" for b in _SMB_BUCKETS]
+            + [f"{sum(per.values()):.1f}"]
+            for bench, per in self.percentages.items()
+        ]
+        return render_table(
+            ["benchmark", *_SMB_BUCKETS, "total"], rows,
+            title="Fig. 2 — loads with a prior-store dependence, "
+                  "by bypass class (% of loads)",
+        )
+
+
+def fig2_smb_opportunities(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> Fig2Result:
+    """Scan traces and histogram dependence classes (no predictor needed)."""
+    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = default_cache()
+    percentages: Dict[str, Dict[str, float]] = {}
+    for bench in benchmarks:
+        trace = cache.get(bench, num_uops)
+        histogram = Histogram(_SMB_BUCKETS)
+        loads = 0
+        for uop in trace:
+            if not uop.is_load:
+                continue
+            loads += 1
+            if uop.has_dependence:
+                histogram.add(_CLASS_TO_BUCKET[uop.bypass])
+        percentages[bench] = histogram.percentages(denominator=loads)
+    return Fig2Result(percentages=percentages)
+
+
+# -------------------------------------------------------------------- Table I
+
+@dataclass
+class Table1Result:
+    rows: Dict[str, str]
+    config_name: str
+
+    def render(self) -> str:
+        return render_table(
+            ["parameter", "value"],
+            list(self.rows.items()),
+            title=f"Table I — system configuration ({self.config_name})",
+        )
+
+
+def table1_configuration(config: CoreConfig = GOLDEN_COVE) -> Table1Result:
+    """Render the modelled core's Table I parameter rows."""
+    return Table1Result(rows=config.summary(), config_name=config.name)
+
+
+# ------------------------------------------------------------------- Table II
+
+@dataclass
+class Table2Result:
+    rows: List[PredictorSizing]
+
+    def render(self) -> str:
+        table_rows = []
+        for sizing in self.rows:
+            fields = ", ".join(
+                f"{bits}b {name}" for name, bits in
+                sizing.fields_per_entry.items()
+            )
+            table_rows.append([
+                sizing.name, sizing.tables, sizing.total_entries,
+                fields, f"{sizing.kib:.2f}",
+            ])
+        return render_table(
+            ["predictor", "tables", "entries", "fields per entry", "KiB"],
+            table_rows,
+            title="Table II — configuration and storage of the evaluated "
+                  "predictors",
+        )
+
+
+def table2_sizes() -> Table2Result:
+    """Recompute Table II's storage budgets for every predictor."""
+    return Table2Result(rows=table2_rows())
+
+
+# --------------------------------------------------------- IPC figures (7, 9)
+
+@dataclass
+class IpcFigureResult:
+    """Normalised-IPC comparison across predictors (Figs. 7, 9, 11, 15)."""
+
+    title: str
+    suite: IpcSuiteResult
+    predictors: List[str]
+
+    def normalised(self, predictor: str) -> Dict[str, float]:
+        return self.suite.normalised(predictor)
+
+    def geomean(self, predictor: str) -> float:
+        return self.suite.geomean(predictor)
+
+    def render(self) -> str:
+        benches = list(next(iter(self.suite.ipc.values())).keys())
+        rows = []
+        for bench in benches:
+            row = [bench]
+            for predictor in self.predictors:
+                row.append(f"{self.suite.normalised(predictor)[bench]:.4f}")
+            rows.append(row)
+        geo = ["geomean"] + [
+            f"{self.suite.geomean(p):.4f}" for p in self.predictors
+        ]
+        rows.append(geo)
+        return render_table(
+            ["benchmark", *self.predictors], rows, title=self.title,
+        )
+
+
+def fig7_ipc_full(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> IpcFigureResult:
+    """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
+    predictors = ["nosq", "phast", "mascot"]
+    suite = run_ipc_suite(predictors, benchmarks, num_uops)
+    return IpcFigureResult(
+        title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
+        suite=suite, predictors=predictors,
+    )
+
+
+def fig9_ipc_mdp_only(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> IpcFigureResult:
+    """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
+    predictors = ["store-sets", "phast", "mascot-mdp"]
+    suite = run_ipc_suite(predictors, benchmarks, num_uops)
+    return IpcFigureResult(
+        title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
+        suite=suite, predictors=predictors,
+    )
+
+
+# --------------------------------------------------------------------- Fig. 8
+
+@dataclass
+class Fig8Result:
+    """Total mispredictions and their false-dep / speculative split."""
+
+    totals: Dict[str, int]
+    false_dependencies: Dict[str, int]
+    speculative_errors: Dict[str, int]
+
+    def reduction_vs(self, predictor: str, other: str) -> float:
+        """Percent reduction in total mispredictions of predictor vs other."""
+        if self.totals[other] == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.totals[predictor] / self.totals[other])
+
+    def render(self) -> str:
+        rows = [
+            [name, self.totals[name], self.false_dependencies[name],
+             self.speculative_errors[name]]
+            for name in self.totals
+        ]
+        return render_table(
+            ["predictor", "total mispredictions", "false dependencies",
+             "speculative errors"],
+            rows,
+            title="Fig. 8 — mispredictions across all benchmarks",
+        )
+
+
+def fig8_mispredictions(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+    predictors: Sequence[str] = ("nosq", "phast", "mascot"),
+) -> Fig8Result:
+    """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
+    results = run_accuracy_suite(list(predictors), benchmarks, num_uops)
+    totals: Dict[str, int] = {}
+    false_deps: Dict[str, int] = {}
+    spec_errors: Dict[str, int] = {}
+    for name, per_bench in results.items():
+        merged = AccuracyStats()
+        for run in per_bench.values():
+            merged.merge(run.accuracy)
+        totals[name] = merged.mispredictions
+        false_deps[name] = merged.false_dependencies
+        spec_errors[name] = merged.speculative_errors
+    return Fig8Result(totals=totals, false_dependencies=false_deps,
+                      speculative_errors=spec_errors)
+
+
+# -------------------------------------------------------------------- Fig. 10
+
+@dataclass
+class Fig10Result:
+    """Per-benchmark prediction-type and misprediction-type mixes."""
+
+    prediction_mix: Dict[str, Dict[str, float]]     # bench -> kind -> %
+    misprediction_mix: Dict[str, Dict[str, float]]  # bench -> kind -> %
+
+    def render(self) -> str:
+        kinds = ["no_dep", "mdp", "smb"]
+        rows = []
+        for bench in self.prediction_mix:
+            pred = self.prediction_mix[bench]
+            mis = self.misprediction_mix[bench]
+            rows.append(
+                [bench]
+                + [f"{pred[k]:.1f}" for k in kinds]
+                + [f"{mis[k]:.1f}" for k in kinds]
+            )
+        return render_table(
+            ["benchmark", "pred:no_dep%", "pred:mdp%", "pred:smb%",
+             "mis:no_dep%", "mis:mdp%", "mis:smb%"],
+            rows,
+            title="Fig. 10 — MASCOT prediction and misprediction type "
+                  "distributions",
+        )
+
+
+def fig10_prediction_mix(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> Fig10Result:
+    """MASCOT's prediction and misprediction type mixes (Fig. 10)."""
+    results = run_accuracy_suite(["mascot"], benchmarks, num_uops)["mascot"]
+    prediction_mix: Dict[str, Dict[str, float]] = {}
+    misprediction_mix: Dict[str, Dict[str, float]] = {}
+    for bench, run in results.items():
+        acc = run.accuracy
+        total = max(acc.loads, 1)
+        prediction_mix[bench] = {
+            kind.value: 100.0 * count / total
+            for kind, count in acc.prediction_counts.items()
+        }
+        mix = acc.misprediction_mix()
+        mis_total = max(sum(mix.values()), 1)
+        misprediction_mix[bench] = {
+            kind.value: 100.0 * count / mis_total
+            for kind, count in mix.items()
+        }
+    return Fig10Result(prediction_mix=prediction_mix,
+                       misprediction_mix=misprediction_mix)
+
+
+# -------------------------------------------------------------------- Fig. 11
+
+@dataclass
+class Fig11Result:
+    """MASCOT vs the TAGE-like predictor without non-dependence entries."""
+
+    ipc: IpcSuiteResult
+    false_dependencies: Dict[str, int]
+
+    @property
+    def false_dep_ratio(self) -> float:
+        """How many times more false dependencies the ablation has."""
+        mascot = max(self.false_dependencies.get("mascot", 0), 1)
+        return self.false_dependencies.get("tage-no-nd", 0) / mascot
+
+    def render(self) -> str:
+        lines = [
+            "Fig. 11 — MASCOT vs TAGE-like without non-dependence "
+            "allocation",
+        ]
+        for name in ("mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"):
+            lines.append(
+                f"  {name:16s} geomean IPC vs perfect MDP: "
+                f"{format_percent(self.ipc.geomean(name))}"
+            )
+        lines.append(
+            f"  false dependencies: mascot="
+            f"{self.false_dependencies.get('mascot', 0)}, "
+            f"tage-no-nd={self.false_dependencies.get('tage-no-nd', 0)} "
+            f"({self.false_dep_ratio:.1f}x)"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def fig11_ablation(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> Fig11Result:
+    """MASCOT vs the no-non-dependence TAGE ablation (Fig. 11)."""
+    predictors = ["mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"]
+    ipc = run_ipc_suite(predictors, benchmarks, num_uops)
+    accuracy = run_accuracy_suite(["mascot", "tage-no-nd"], benchmarks,
+                                  num_uops)
+    false_deps: Dict[str, int] = {}
+    for name, per_bench in accuracy.items():
+        false_deps[name] = sum(
+            run.accuracy.false_dependencies for run in per_bench.values()
+        )
+    return Fig11Result(ipc=ipc, false_dependencies=false_deps)
+
+
+# -------------------------------------------------------------------- Fig. 12
+
+@dataclass
+class Fig12Result:
+    """Golden Cove vs Lion Cove: MASCOT and the perfect MDP+SMB ceiling."""
+
+    #: geomean IPC over perfect MDP, keyed [core][predictor].
+    geomeans: Dict[str, Dict[str, float]]
+
+    def render(self) -> str:
+        rows = []
+        for core, values in self.geomeans.items():
+            for predictor, value in values.items():
+                rows.append([core, predictor, format_percent(value)])
+        return render_table(
+            ["core", "predictor", "IPC vs perfect MDP"],
+            rows,
+            title="Fig. 12 — MASCOT and the perfect MDP+SMB ceiling on "
+                  "larger cores",
+        )
+
+
+def fig12_future_architectures(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+    cores: Sequence[CoreConfig] = (GOLDEN_COVE, LION_COVE),
+) -> Fig12Result:
+    """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
+    predictors = ["perfect-mdp-smb", "mascot"]
+    geomeans: Dict[str, Dict[str, float]] = {}
+    for core in cores:
+        suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core)
+        geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
+    return Fig12Result(geomeans=geomeans)
+
+
+# -------------------------------------------------------------------- Fig. 13
+
+@dataclass
+class Fig13Result:
+    """Share of predictions served by each MASCOT table (plus base)."""
+
+    #: per_table[t] = % of all predictions; the final element is the base.
+    shares: List[float]
+    labels: List[str]
+
+    def render(self) -> str:
+        rows = [
+            [label, f"{share:.2f}"]
+            for label, share in zip(self.labels, self.shares)
+        ]
+        return render_table(
+            ["source", "% of predictions"], rows,
+            title="Fig. 13 — distribution of predictions per MASCOT table",
+        )
+
+
+def fig13_table_usage(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> Fig13Result:
+    """Share of predictions served by each MASCOT table (Fig. 13)."""
+    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = default_cache()
+    totals: Optional[List[int]] = None
+    for bench in benchmarks:
+        trace = cache.get(bench, num_uops)
+        predictor = make_predictor("mascot")
+        run_prediction_only(trace, predictor)
+        counts = predictor.predictions_per_table
+        if totals is None:
+            totals = list(counts)
+        else:
+            totals = [a + b for a, b in zip(totals, counts)]
+    assert totals is not None
+    grand = max(sum(totals), 1)
+    shares = [100.0 * c / grand for c in totals]
+    labels = [f"table {t + 1}" for t in range(len(totals) - 1)] + ["base"]
+    return Fig13Result(shares=shares, labels=labels)
+
+
+# -------------------------------------------------------------------- Fig. 14
+
+@dataclass
+class Fig14Result:
+    """Rank-ordered mean F1 per table, averaged across benchmarks."""
+
+    profile: RankedF1Profile
+
+    #: Log-spaced ranks sampled by render(): the useful-entry mass sits in
+    #: the first few dozen ranks, so linear sampling would show only zeros.
+    RENDER_RANKS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def render(self) -> str:
+        rows = []
+        for t, scores in enumerate(self.profile.ranked):
+            sampled = [
+                f"{scores[r]:.3f}" for r in self.RENDER_RANKS
+                if r < len(scores)
+            ]
+            rows.append([f"table {t + 1}", len(scores), " ".join(sampled)])
+        ranks = " ".join(str(r) for r in self.RENDER_RANKS)
+        return render_table(
+            ["table", "entries", f"mean F1 at ranks [{ranks}]"],
+            rows,
+            title="Fig. 14 — F1 scores of entries ranked within each table",
+        )
+
+
+def fig14_f1_ranking(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+    period_loads: int = 20_000,
+) -> Fig14Result:
+    """Rank-ordered per-entry F1 scores, averaged over benchmarks (Fig. 14)."""
+    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = default_cache()
+    profiles: List[RankedF1Profile] = []
+    for bench in benchmarks:
+        trace = cache.get(bench, num_uops)
+        predictor = Mascot(MASCOT_DEFAULT, track_f1=True)
+        result = run_prediction_only(trace, predictor, f1_period=period_loads)
+        assert result.f1_profile is not None
+        profiles.append(result.f1_profile)
+    return Fig14Result(profile=merge_profiles(profiles))
+
+
+# -------------------------------------------------------------------- Fig. 15
+
+@dataclass
+class Fig15Result:
+    """MASCOT-OPT and tag-reduced variants: IPC delta vs size."""
+
+    #: predictor -> (geomean IPC vs default MASCOT, size KiB)
+    points: Dict[str, tuple]
+
+    def render(self) -> str:
+        rows = [
+            [name, format_percent(ratio), f"{kib:.2f}"]
+            for name, (ratio, kib) in self.points.items()
+        ]
+        return render_table(
+            ["predictor", "IPC vs MASCOT", "size (KiB)"], rows,
+            title="Fig. 15 — area-optimised MASCOT variants",
+        )
+
+
+def fig15_mascot_opt(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+) -> Fig15Result:
+    """Area-optimised MASCOT variants: IPC delta vs storage (Fig. 15)."""
+    predictors = ["mascot", "mascot-opt", "mascot-opt-tag2",
+                  "mascot-opt-tag4", "mascot-opt-tag6"]
+    suite = run_ipc_suite(predictors, benchmarks, num_uops,
+                          baseline="mascot")
+    sizes = {
+        "mascot": MASCOT_DEFAULT.storage_kib,
+        "mascot-opt": MASCOT_OPT.storage_kib,
+        "mascot-opt-tag2": mascot_opt_reduced_tags(2).storage_kib,
+        "mascot-opt-tag4": mascot_opt_reduced_tags(4).storage_kib,
+        "mascot-opt-tag6": mascot_opt_reduced_tags(6).storage_kib,
+    }
+    points = {
+        name: (suite.geomean(name), sizes[name]) for name in predictors
+    }
+    return Fig15Result(points=points)

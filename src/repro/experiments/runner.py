@@ -1,0 +1,178 @@
+"""Single-run drivers: prediction-only replay and full timing simulation.
+
+Two evaluation modes (DESIGN.md §5):
+
+* :func:`run_prediction_only` replays a trace through a predictor in
+  program order — predict at decode, train at commit, history hooks on
+  every branch — and classifies every load.  Fast; used for the accuracy
+  figures (2, 8, 10, 13, 14).
+* :func:`run_timing` runs the full out-of-order pipeline for IPC
+  (figures 7, 9, 11, 12, 15).
+
+Traces are cached per (benchmark, length, seeds, windows) so a suite sweep
+over many predictors generates each trace once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.accuracy import AccuracyStats, classify
+from ..analysis.f1 import F1Recorder, RankedF1Profile
+from ..core.config import GOLDEN_COVE, CoreConfig
+from ..core.pipeline import Pipeline
+from ..core.stats import PipelineStats
+from ..predictors.base import ActualOutcome, MDPredictor
+from ..predictors.mascot import Mascot
+from ..trace.generator import generate_trace
+from ..trace.uop import MicroOp, OpClass
+
+__all__ = [
+    "TraceCache",
+    "PredictionRunResult",
+    "run_prediction_only",
+    "run_timing",
+    "DEFAULT_TRACE_LENGTH",
+]
+
+#: Default dynamic trace length per benchmark.  Chosen so a full-suite,
+#: all-predictor sweep completes in minutes in pure Python while giving the
+#: predictors thousands of dynamic instances per static load.
+DEFAULT_TRACE_LENGTH = 80_000
+
+
+class TraceCache:
+    """Memoises generated traces keyed by all generation parameters."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[Tuple, List[MicroOp]] = {}
+
+    def get(
+        self,
+        benchmark: str,
+        num_uops: int,
+        program_seed: int = 0,
+        trace_seed: int = 1,
+        store_window: int = 114,
+        instr_window: int = 512,
+    ) -> List[MicroOp]:
+        key = (benchmark, num_uops, program_seed, trace_seed,
+               store_window, instr_window)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = generate_trace(
+                benchmark, num_uops,
+                program_seed=program_seed, trace_seed=trace_seed,
+                store_window=store_window, instr_window=instr_window,
+            )
+            self._traces[key] = trace
+        return trace
+
+    def clear(self) -> None:
+        self._traces.clear()
+
+
+#: Process-wide default cache used by the figure generators.
+_GLOBAL_CACHE = TraceCache()
+
+
+def default_cache() -> TraceCache:
+    return _GLOBAL_CACHE
+
+
+@dataclass
+class PredictionRunResult:
+    """Everything a prediction-only replay produces."""
+
+    accuracy: AccuracyStats
+    #: Predictions per source table for TAGE-like predictors (Fig. 13);
+    #: empty for predictors without tables.
+    predictions_per_table: List[int] = field(default_factory=list)
+    #: Ranked F1 profile when an :class:`F1Recorder` was attached (Fig. 14).
+    f1_profile: Optional[RankedF1Profile] = None
+
+
+def run_prediction_only(
+    trace: Sequence[MicroOp],
+    predictor: MDPredictor,
+    f1_period: Optional[int] = None,
+    warmup: int = 0,
+) -> PredictionRunResult:
+    """Replay ``trace`` through ``predictor`` and classify every load.
+
+    ``warmup`` micro-ops at the head of the trace train the predictor but
+    are excluded from the accuracy statistics — the paper measures warmed
+    SimPoint regions, and cold-start allocations would otherwise dominate
+    short synthetic traces.
+    """
+    recorder: Optional[F1Recorder] = None
+    if f1_period is not None:
+        if not isinstance(predictor, Mascot):
+            raise TypeError("F1 recording requires a MASCOT-family predictor")
+        recorder = F1Recorder(predictor, period_loads=f1_period)
+
+    stats = AccuracyStats()
+    branch_count = 0
+    store_branch: Dict[int, int] = {}
+    store_pc: Dict[int, int] = {}
+
+    for uop in trace:
+        op = uop.op
+        if op is OpClass.BRANCH_COND:
+            predictor.on_branch(uop.pc, uop.taken)
+            branch_count += 1
+        elif op is OpClass.BRANCH_INDIRECT:
+            predictor.on_indirect(uop.pc, uop.target)
+            branch_count += 1
+        elif uop.is_store:
+            predictor.on_store(uop)
+            store_branch[uop.seq] = branch_count
+            store_pc[uop.seq] = uop.pc
+            if len(store_branch) > 4096:
+                _prune(store_branch, uop.seq)
+                _prune(store_pc, uop.seq)
+        elif uop.is_load:
+            prediction = predictor.predict(uop)
+            branches_between = 0
+            pc_of_store = None
+            if uop.has_dependence:
+                branches_between = branch_count - store_branch.get(
+                    uop.dep_store_seq, branch_count
+                )
+                pc_of_store = store_pc.get(uop.dep_store_seq)
+            actual = ActualOutcome.from_uop(
+                uop, branches_between=branches_between, store_pc=pc_of_store
+            )
+            if uop.seq >= warmup:
+                stats.record(classify(prediction, actual,
+                                      predictor.bypassable_classes))
+            predictor.train(uop, prediction, actual)
+            if recorder is not None:
+                recorder.tick()
+
+    stats.instructions = max(len(trace) - warmup, 1)
+    per_table = list(getattr(predictor, "predictions_per_table", []))
+    profile = recorder.finish() if recorder is not None else None
+    return PredictionRunResult(
+        accuracy=stats,
+        predictions_per_table=per_table,
+        f1_profile=profile,
+    )
+
+
+def _prune(mapping: Dict[int, int], current_seq: int,
+           horizon: int = 2048) -> None:
+    """Drop entries too old to matter for in-flight dependence queries."""
+    dead = [seq for seq in mapping if current_seq - seq > horizon]
+    for seq in dead:
+        del mapping[seq]
+
+
+def run_timing(
+    trace: Sequence[MicroOp],
+    predictor: MDPredictor,
+    config: CoreConfig = GOLDEN_COVE,
+) -> PipelineStats:
+    """Run the out-of-order timing model; returns its statistics."""
+    return Pipeline(predictor, config=config).run(trace)

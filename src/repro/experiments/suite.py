@@ -1,0 +1,172 @@
+"""Suite orchestration: sweep (benchmark × predictor) and summarise.
+
+The paper's evaluation grid is a set of predictors run over the SPEC
+CPU2017 stand-in suite, with IPC normalised per benchmark to a perfect-MDP
+run of the *same* trace on the *same* core.  :func:`run_ipc_suite` and
+:func:`run_accuracy_suite` produce those grids; predictor construction goes
+through a registry of named factories so figures and benches can request
+"mascot" / "phast" / ... uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..common.statistics import geometric_mean, normalise
+from ..core.config import GOLDEN_COVE, CoreConfig
+from ..core.stats import PipelineStats
+from ..predictors.base import MDPredictor
+from ..predictors.configs import MASCOT_DEFAULT, MASCOT_OPT, mascot_opt_reduced_tags
+from ..predictors.mascot import Mascot
+from ..predictors.idist import IDistStoreSets
+from ..predictors.nosq import NoSQ
+from ..predictors.tage_mdp import TageMdp
+from ..predictors.perfect import PerfectMDP, PerfectMDPSMB
+from ..predictors.phast import Phast
+from ..predictors.store_sets import StoreSets
+from ..predictors.tage_nond import TAGE_NO_ND_CONFIG
+from ..trace.profiles import suite_names
+from .runner import (
+    DEFAULT_TRACE_LENGTH,
+    PredictionRunResult,
+    default_cache,
+    run_prediction_only,
+    run_timing,
+)
+
+__all__ = [
+    "PREDICTOR_FACTORIES",
+    "make_predictor",
+    "IpcSuiteResult",
+    "run_ipc_suite",
+    "run_accuracy_suite",
+]
+
+#: Registry of predictor factories by canonical name.
+PREDICTOR_FACTORIES: Dict[str, Callable[[], MDPredictor]] = {
+    "perfect-mdp": PerfectMDP,
+    "perfect-mdp-smb": PerfectMDPSMB,
+    "mascot": lambda: Mascot(MASCOT_DEFAULT),
+    "mascot-mdp": lambda: Mascot(
+        MASCOT_DEFAULT.with_(name="mascot-mdp", smb_enabled=False)
+    ),
+    "mascot-opt": lambda: Mascot(MASCOT_OPT),
+    "mascot-opt-tag2": lambda: Mascot(mascot_opt_reduced_tags(2)),
+    "mascot-opt-tag4": lambda: Mascot(mascot_opt_reduced_tags(4)),
+    "mascot-opt-tag6": lambda: Mascot(mascot_opt_reduced_tags(6)),
+    "mascot-offset": lambda: Mascot(
+        MASCOT_DEFAULT.with_(name="mascot-offset", offset_bypass=True)
+    ),
+    "mascot-decay": lambda: Mascot(
+        MASCOT_DEFAULT.with_(name="mascot-decay", decay_period=50_000)
+    ),
+    "tage-no-nd": lambda: Mascot(TAGE_NO_ND_CONFIG),
+    "tage-no-nd-mdp": lambda: Mascot(
+        TAGE_NO_ND_CONFIG.with_(name="tage-no-nd-mdp", smb_enabled=False)
+    ),
+    "phast": Phast,
+    "tage-mdp": TageMdp,
+    "idist+store-sets": IDistStoreSets,
+    "nosq": NoSQ,
+    "store-sets": StoreSets,
+}
+
+
+def make_predictor(name: str) -> MDPredictor:
+    """Build a fresh predictor by canonical name."""
+    try:
+        factory = PREDICTOR_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PREDICTOR_FACTORIES))
+        raise KeyError(f"unknown predictor {name!r}; known: {known}") from None
+    return factory()
+
+
+@dataclass
+class IpcSuiteResult:
+    """IPC grid with normalisation helpers."""
+
+    #: ipc[predictor][benchmark]
+    ipc: Dict[str, Dict[str, float]]
+    #: Full pipeline stats for every run (same key structure).
+    stats: Dict[str, Dict[str, PipelineStats]]
+    baseline: str
+
+    def normalised(self, predictor: str) -> Dict[str, float]:
+        """Per-benchmark IPC relative to the baseline predictor."""
+        return normalise(self.ipc[predictor], self.ipc[self.baseline])
+
+    def geomean(self, predictor: str) -> float:
+        return geometric_mean(self.normalised(predictor).values())
+
+    def geomean_speedup_over(self, predictor: str, other: str) -> float:
+        """Geomean of per-benchmark IPC ratios predictor/other, in percent."""
+        ratios = [
+            self.ipc[predictor][b] / self.ipc[other][b]
+            for b in self.ipc[predictor]
+        ]
+        return 100.0 * (geometric_mean(ratios) - 1.0)
+
+
+def run_ipc_suite(
+    predictors: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+    config: CoreConfig = GOLDEN_COVE,
+    baseline: str = "perfect-mdp",
+    verbose: bool = False,
+) -> IpcSuiteResult:
+    """Timing-mode sweep; the baseline is added automatically if missing."""
+    names = list(predictors)
+    if baseline not in names:
+        names.insert(0, baseline)
+    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = default_cache()
+
+    ipc: Dict[str, Dict[str, float]] = {n: {} for n in names}
+    stats: Dict[str, Dict[str, PipelineStats]] = {n: {} for n in names}
+    for bench in benchmarks:
+        trace = cache.get(bench, num_uops,
+                          store_window=config.sb_size,
+                          instr_window=config.rob_size)
+        for name in names:
+            result = run_timing(trace, make_predictor(name), config=config)
+            ipc[name][bench] = result.ipc
+            stats[name][bench] = result
+            if verbose:
+                print(f"  {bench:12s} {name:16s} IPC={result.ipc:.3f}")
+    return IpcSuiteResult(ipc=ipc, stats=stats, baseline=baseline)
+
+
+def run_accuracy_suite(
+    predictors: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    num_uops: int = DEFAULT_TRACE_LENGTH,
+    verbose: bool = False,
+    warmup: Optional[int] = None,
+) -> Dict[str, Dict[str, PredictionRunResult]]:
+    """Prediction-only sweep: results[predictor][benchmark].
+
+    ``warmup`` defaults to a quarter of the trace: predictors train on it
+    but it is excluded from the statistics (steady-state measurement, as
+    the paper's warmed SimPoints provide).
+    """
+    if warmup is None:
+        warmup = num_uops // 4
+    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = default_cache()
+    results: Dict[str, Dict[str, PredictionRunResult]] = {
+        n: {} for n in predictors
+    }
+    for bench in benchmarks:
+        trace = cache.get(bench, num_uops)
+        for name in predictors:
+            result = run_prediction_only(trace, make_predictor(name),
+                                         warmup=warmup)
+            results[name][bench] = result
+            if verbose:
+                acc = result.accuracy
+                print(f"  {bench:12s} {name:16s} "
+                      f"mispred={acc.mispredictions}")
+    return results

@@ -1,0 +1,16 @@
+"""Cache hierarchy substrate (Table I memory parameters)."""
+
+from .cache import Cache, CacheStats
+from .hierarchy import HierarchyConfig, MemoryHierarchy
+from .mshr import MSHRFile
+from .prefetch import IPStridePrefetcher, StrideEntry
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MSHRFile",
+    "IPStridePrefetcher",
+    "StrideEntry",
+]

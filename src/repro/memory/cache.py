@@ -1,0 +1,138 @@
+"""Set-associative cache model.
+
+The paper models its memory hierarchy with GEMS; we substitute a classic
+set-associative LRU cache usable at every level.  Only hit/miss behaviour
+and latency matter to the experiments (no coherence, no data values): SMB's
+benefit is measured against how long a load would otherwise take, which this
+model supplies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.bitops import mask
+
+__all__ = ["Cache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    __slots__ = ("accesses", "hits", "misses", "evictions", "prefetch_fills")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.prefetch_fills = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(accesses={self.accesses}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+class Cache:
+    """A single set-associative cache level with true-LRU replacement.
+
+    Sizes are given in bytes; ``line_size`` must be a power of two.  LRU
+    order is maintained with per-set lists of line addresses ordered from
+    least- to most-recently used, which is simple and fast at the
+    associativities involved (8–12 ways).
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_size: int = 64):
+        if size_bytes <= 0 or ways <= 0 or line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        if line_size & (line_size - 1):
+            raise ValueError("line size must be a power of two")
+        if size_bytes % (ways * line_size):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_size})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.num_sets = size_bytes // (ways * line_size)
+        self._offset_bits = line_size.bit_length() - 1
+        self.stats = CacheStats()
+        # set index -> list of tags, LRU first.
+        self._sets: Dict[int, List[int]] = {}
+
+    def _line(self, address: int) -> int:
+        return address >> self._offset_bits
+
+    def _set_index(self, line: int) -> int:
+        if self.num_sets & (self.num_sets - 1) == 0:
+            return line & mask(self.num_sets.bit_length() - 1)
+        return line % self.num_sets
+
+    def lookup(self, address: int, *, fill: bool = True,
+               is_prefetch: bool = False) -> bool:
+        """Probe the cache; returns True on hit.
+
+        On a miss the line is filled (allocate-on-miss) unless ``fill`` is
+        False.  Prefetch fills are counted separately so prefetcher accuracy
+        is observable in the stats.
+        """
+        line = self._line(address)
+        set_index = self._set_index(line)
+        ways = self._sets.get(set_index)
+        self.stats.accesses += 1
+        if ways is not None and line in ways:
+            self.stats.hits += 1
+            # Move to MRU position.
+            ways.remove(line)
+            ways.append(line)
+            return True
+        self.stats.misses += 1
+        if fill:
+            self.fill(address, is_prefetch=is_prefetch)
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive probe (no stats, no LRU update)."""
+        line = self._line(address)
+        ways = self._sets.get(self._set_index(line))
+        return ways is not None and line in ways
+
+    def fill(self, address: int, *, is_prefetch: bool = False) -> Optional[int]:
+        """Insert a line; returns the evicted line address (or None)."""
+        line = self._line(address)
+        set_index = self._set_index(line)
+        ways = self._sets.setdefault(set_index, [])
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return None
+        evicted = None
+        if len(ways) >= self.ways:
+            evicted = ways.pop(0) << self._offset_bits
+            self.stats.evictions += 1
+        ways.append(line)
+        if is_prefetch:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name}, {self.size_bytes // 1024}KB, "
+            f"{self.ways}-way, {self.num_sets} sets)"
+        )

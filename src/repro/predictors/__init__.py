@@ -1,0 +1,63 @@
+"""Memory-dependence / SMB predictors: MASCOT, baselines and oracles."""
+
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from .configs import (
+    MASCOT_DEFAULT,
+    MASCOT_OPT,
+    MascotConfig,
+    mascot_opt_reduced_tags,
+)
+from .mascot import Mascot, MascotEntry
+from .nosq import NoSQ, NoSQEntry
+from .perfect import PerfectMDP, PerfectMDPSMB
+from .phast import PHAST_HISTORY_LENGTHS, Phast, PhastEntry
+from .sizing import (
+    PredictorSizing,
+    mascot_sizing,
+    nosq_sizing,
+    phast_sizing,
+    store_sets_sizing,
+    table2_rows,
+)
+from .idist import IDIST_HISTORY_LENGTHS, IDistEntry, IDistStoreSets
+from .store_sets import StoreSets
+from .tage_mdp import TageMdp, TageMdpEntry
+from .tables import TableBank, TableKey, TaggedTable
+from .tage_nond import TAGE_NO_ND_CONFIG, make_tage_no_nd
+
+__all__ = [
+    "ActualOutcome",
+    "MDPredictor",
+    "Prediction",
+    "PredictionKind",
+    "MASCOT_DEFAULT",
+    "MASCOT_OPT",
+    "MascotConfig",
+    "mascot_opt_reduced_tags",
+    "Mascot",
+    "MascotEntry",
+    "NoSQ",
+    "NoSQEntry",
+    "PerfectMDP",
+    "PerfectMDPSMB",
+    "PHAST_HISTORY_LENGTHS",
+    "Phast",
+    "PhastEntry",
+    "PredictorSizing",
+    "mascot_sizing",
+    "nosq_sizing",
+    "phast_sizing",
+    "store_sets_sizing",
+    "table2_rows",
+    "StoreSets",
+    "IDIST_HISTORY_LENGTHS",
+    "IDistEntry",
+    "IDistStoreSets",
+    "TageMdp",
+    "TageMdpEntry",
+    "TableBank",
+    "TableKey",
+    "TaggedTable",
+    "TAGE_NO_ND_CONFIG",
+    "make_tage_no_nd",
+]

@@ -1,0 +1,179 @@
+"""Interfaces shared by every memory-dependence / bypass predictor.
+
+The harness drives predictors through a narrow protocol:
+
+* :meth:`MDPredictor.predict` is called for every dynamic load, in program
+  order, at "decode time" — before the load's dependence is known.
+* :meth:`MDPredictor.train` is called for the same load at "commit time"
+  with the ground-truth :class:`ActualOutcome`.
+* :meth:`MDPredictor.on_branch` / :meth:`MDPredictor.on_indirect` feed the
+  architectural branch stream (the predictors own their global history).
+* :meth:`MDPredictor.on_store` announces dispatched stores (Store Sets and
+  NoSQ track last-fetched-store state; TAGE-likes ignore it).
+
+Predictions name the conflicting store by *store distance* (1 = youngest
+older store, matching MASCOT's store-queue-offset encoding) and/or by the
+resolved dynamic sequence number when the predictor tracks stores directly
+(Store Sets).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..trace.uop import SAME_ADDRESS_BYPASSABLE, BypassClass, MicroOp
+
+__all__ = ["PredictionKind", "Prediction", "ActualOutcome", "MDPredictor"]
+
+
+class PredictionKind(enum.Enum):
+    """The three-way prediction of Fig. 5 (left-hand side)."""
+
+    NO_DEP = "no_dep"  # load may issue as soon as its address is known
+    MDP = "mdp"        # wait for the named prior store, then issue
+    SMB = "smb"        # obtain the value from the named prior store directly
+
+
+@dataclass
+class Prediction:
+    """One prediction for one dynamic load.
+
+    ``distance``/``store_seq`` identify the predicted store (either may be
+    unset depending on the predictor family).  ``source_table`` is the table
+    index a TAGE-like predictor matched in (None = base predictor) — used by
+    allocation policies and the Fig. 13 usage statistics.  ``meta`` carries
+    predictor-private state from predict-time to train-time (e.g. the
+    per-table index/tag keys computed under the prediction-time history).
+    """
+
+    kind: PredictionKind
+    distance: int = 0
+    store_seq: Optional[int] = None
+    source_table: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind is PredictionKind.NO_DEP:
+            if self.distance != 0:
+                raise ValueError("NO_DEP prediction with non-zero distance")
+        elif self.distance <= 0 and self.store_seq is None:
+            raise ValueError(f"{self.kind} prediction names no store")
+
+    @property
+    def predicts_dependence(self) -> bool:
+        return self.kind is not PredictionKind.NO_DEP
+
+
+@dataclass(frozen=True)
+class ActualOutcome:
+    """Ground truth for a committed load, as recovered from the LQ/SB.
+
+    ``branches_between`` counts dynamic branches between the conflicting
+    store and the load (PHAST's allocation heuristic keys on it); it is 0
+    when there is no dependence.
+    """
+
+    distance: int
+    store_seq: Optional[int]
+    bypass: BypassClass
+    branches_between: int = 0
+    #: PC of the conflicting store (Store Sets assigns SSIT entries by it).
+    store_pc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        has_dep = self.distance > 0
+        if has_dep != self.bypass.is_dependence:
+            raise ValueError("distance and bypass class disagree")
+        if has_dep and self.store_seq is None:
+            raise ValueError("dependence without a store sequence number")
+
+    @classmethod
+    def from_uop(cls, uop: MicroOp, branches_between: int = 0,
+                 store_pc: Optional[int] = None) -> "ActualOutcome":
+        """Build the outcome from an annotated trace load."""
+        if not uop.is_load:
+            raise ValueError(f"uop {uop.seq} is not a load")
+        return cls(
+            distance=uop.store_distance,
+            store_seq=uop.dep_store_seq,
+            bypass=uop.bypass,
+            branches_between=branches_between if uop.has_dependence else 0,
+            store_pc=store_pc if uop.has_dependence else None,
+        )
+
+    @property
+    def has_dependence(self) -> bool:
+        return self.distance > 0
+
+
+class MDPredictor(abc.ABC):
+    """Abstract memory-dependence (and optionally SMB) predictor."""
+
+    #: Human-readable name used in figures and reports.
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, uop: MicroOp) -> Prediction:
+        """Predict the given dynamic load.
+
+        Implementations must only read ``uop.pc`` (and ``uop.seq`` for
+        bookkeeping); the ground-truth annotation fields are reserved for
+        the oracle predictors.
+        """
+
+    @abc.abstractmethod
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        """Commit-time update with the resolved dependence information."""
+
+    # -- event hooks (default: ignore) ---------------------------------------
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        """Architectural conditional-branch outcome (history update)."""
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        """Architectural indirect-branch target (history update)."""
+
+    def on_store(self, uop: MicroOp) -> Optional[int]:
+        """A store was dispatched (Store Sets / NoSQ bookkeeping).
+
+        May return the sequence number of an older store this one must
+        issue behind: Store Sets serialises all stores within a store set
+        through the LFST (Chrysos & Emer), which is exactly the
+        over-serialisation cost the paper attributes to it on large
+        windows.  ``None`` (the default) imposes no ordering.
+        """
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Total predictor state in bits (Table II accounting)."""
+        return 0
+
+    @property
+    def storage_kib(self) -> float:
+        return self.storage_bits / 8 / 1024
+
+    @property
+    def supports_smb(self) -> bool:
+        """Whether this predictor ever emits SMB predictions."""
+        return False
+
+    @property
+    def bypassable_classes(self) -> frozenset:
+        """Overlap classes this predictor's bypass datapath can deliver.
+
+        The harness verifies SMB predictions against *this* set, so a
+        predictor designed for shift-capable hardware (NoSQ's partial-word
+        bypassing, MASCOT's offset extension) is judged against its own
+        datapath, not the default same-address one.
+        """
+        return SAME_ADDRESS_BYPASSABLE
+
+    def reset(self) -> None:
+        """Drop all learned state (optional; default is a no-op)."""

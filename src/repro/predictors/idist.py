@@ -1,0 +1,197 @@
+"""IDist + Store Sets: the Perais et al. SMB configuration (Sec. II-B.2).
+
+"Their IDist predictor is a TAGE-based predictor, which uses 2, 5, 11, 27
+and 64 bits of global branch history combined with 16 bits of path history
+and the load PC.  To minimise squashes, IDist only makes predictions when
+it is highly confident.  Because of this, it is not suitable for
+memory-dependence prediction, and thus the authors implement it in
+conjunction with a 4 KiB store-sets predictor for that purpose."
+
+This module implements exactly that split design:
+
+* **IDist** — a TAGE-like distance predictor over the paper's history
+  series (2, 5, 11, 27, 64) whose entries carry a 3-bit confidence counter;
+  it only emits an SMB prediction when fully confident (and the tracked
+  geometry is bypassable), and it emits *nothing* otherwise.
+* **Store Sets** — a smaller (4 KiB-class) store-sets predictor supplying
+  the MDP decision whenever IDist stays quiet.
+
+The combination demonstrates the paper's motivating claim: split designs
+pay twice in storage and still leave opportunities on the table compared
+with a single structure accurate in both directions (MASCOT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..trace.uop import BypassClass, MicroOp
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from .store_sets import StoreSets
+from .tables import TableBank, TableKey
+
+__all__ = ["IDistStoreSets", "IDistEntry"]
+
+#: IDist's published history lengths (bits of global branch history).
+IDIST_HISTORY_LENGTHS: Tuple[int, ...] = (2, 5, 11, 27, 64)
+
+
+@dataclass
+class IDistEntry:
+    """Tag + distance + 3-bit confidence + bypassable flag."""
+
+    tag: int
+    distance: int
+    confidence: int  # 3-bit, saturates at 7
+    bypassable: bool
+
+
+class IDistStoreSets(MDPredictor):
+    """IDist (SMB) layered over a small Store Sets predictor (MDP)."""
+
+    name = "idist+store-sets"
+
+    CONFIDENCE_BITS = 3
+    DISTANCE_BITS = 7
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = IDIST_HISTORY_LENGTHS,
+        entries_per_table: int = 512,
+        tag_bits: int = 14,
+        ways: int = 4,
+        ssit_entries: int = 2048,
+        lfst_entries: int = 1024,
+    ):
+        self.history_lengths = tuple(history_lengths)
+        self.tag_bits = tag_bits
+        self.bank = TableBank(
+            history_lengths=self.history_lengths,
+            table_entries=(entries_per_table,) * len(self.history_lengths),
+            tag_bits=(tag_bits,) * len(self.history_lengths),
+            ways=ways,
+            path_bits=16,
+        )
+        # The companion MDP predictor ("a 4 KiB store-sets predictor").
+        # Its footprint-pressure emulation (see StoreSets) is kept milder
+        # than the full-size predictor's: at the default 192 the small SSIT
+        # would collapse to ~10 effective entries and serialise everything,
+        # which would caricature rather than model the split design.
+        self.store_sets = StoreSets(
+            ssit_entries=ssit_entries, lfst_entries=lfst_entries,
+            footprint_scale=32,
+        )
+        self._confidence_max = (1 << self.CONFIDENCE_BITS) - 1
+        self._distance_max = (1 << self.DISTANCE_BITS) - 1
+
+    # ------------------------------------------------------------------ predict
+
+    def _lookup(self, keys: Tuple[TableKey, ...]
+                ) -> Tuple[Optional[int], Optional[IDistEntry]]:
+        for t in range(len(self.bank) - 1, -1, -1):
+            key = keys[t]
+            for entry in self.bank[t].ways_at(key.index):
+                if entry is not None and entry.tag == key.tag:
+                    return t, entry
+        return None, None
+
+    def predict(self, uop: MicroOp) -> Prediction:
+        keys = self.bank.keys(uop.pc)
+        table, entry = self._lookup(keys)
+        ss_prediction = self.store_sets.predict(uop)
+        meta = {"keys": keys, "ss": ss_prediction}
+
+        # IDist speaks only at full confidence and only for bypassable
+        # geometry; everything else defers to Store Sets.
+        if (
+            entry is not None
+            and entry.bypassable
+            and entry.confidence >= self._confidence_max
+        ):
+            return Prediction(PredictionKind.SMB, distance=entry.distance,
+                              source_table=table, meta=meta)
+        if ss_prediction.predicts_dependence:
+            return Prediction(
+                PredictionKind.MDP,
+                store_seq=ss_prediction.store_seq,
+                meta=meta,
+            )
+        return Prediction(PredictionKind.NO_DEP, meta=meta)
+
+    # -------------------------------------------------------------------- train
+
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        # Train the Store Sets side with its own prediction (it must see
+        # violations it would itself have caused).
+        self.store_sets.train(uop, prediction.meta["ss"], actual)
+
+        keys: Tuple[TableKey, ...] = prediction.meta["keys"]
+        table, entry = self._lookup(keys)
+        if actual.has_dependence:
+            distance = min(actual.distance, self._distance_max)
+            bypassable = actual.bypass in (BypassClass.DIRECT,
+                                           BypassClass.NO_OFFSET)
+            if entry is not None and entry.distance == distance:
+                if bypassable == entry.bypassable:
+                    entry.confidence = min(self._confidence_max,
+                                           entry.confidence + 1)
+                else:
+                    entry.bypassable = bypassable
+                    entry.confidence = 0
+            else:
+                if entry is not None:
+                    entry.confidence = 0
+                self._allocate(keys, table, distance, bypassable)
+        elif entry is not None:
+            # Dependence did not recur: restart confidence building.
+            entry.confidence = 0
+
+    def _allocate(self, keys: Tuple[TableKey, ...], source: Optional[int],
+                  distance: int, bypassable: bool) -> None:
+        start = 0 if source is None else min(source + 1, len(self.bank) - 1)
+        for t in range(start, len(self.bank)):
+            key = keys[t]
+            ways = self.bank[t].ways_at(key.index)
+            for w, entry in enumerate(ways):
+                if entry is None or entry.confidence == 0:
+                    self.bank[t].write(key.index, w, IDistEntry(
+                        tag=key.tag, distance=distance, confidence=1,
+                        bypassable=bypassable,
+                    ))
+                    return
+            for entry in ways:
+                if entry is not None:
+                    entry.confidence = max(0, entry.confidence - 1)
+            break  # age the first candidate set only, then give up
+
+    # ------------------------------------------------------------------- events
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self.bank.on_branch(pc, taken)
+        self.store_sets.on_branch(pc, taken)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self.bank.on_indirect(pc, target)
+        self.store_sets.on_indirect(pc, target)
+
+    def on_store(self, uop: MicroOp) -> Optional[int]:
+        return self.store_sets.on_store(uop)
+
+    # --------------------------------------------------------------------- misc
+
+    @property
+    def storage_bits(self) -> int:
+        entry_bits = (self.tag_bits + self.DISTANCE_BITS
+                      + self.CONFIDENCE_BITS + 1)
+        idist = entry_bits * sum(t.num_entries for t in self.bank.tables)
+        return idist + self.store_sets.storage_bits
+
+    @property
+    def supports_smb(self) -> bool:
+        return True
+
+    def reset(self) -> None:
+        self.bank.clear()
+        self.store_sets.reset()

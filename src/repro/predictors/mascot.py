@@ -1,0 +1,371 @@
+"""MASCOT: Memory-dependence And Short-Circuit Optimising TAGE (Sec. IV).
+
+The paper's primary contribution.  A TAGE-like array of 4-way tagged tables
+with increasing global-history lengths, where each entry predicts either
+
+* a **dependence** on the store at a given store-queue distance (the 7-bit
+  distance field, 1–127), optionally safe to **bypass** (SMB) when both the
+  3-bit usefulness counter and the 2-bit bypass counter are saturated; or
+* a **non-dependence** (distance field = 0), MASCOT's key innovation: when a
+  false dependence is discovered at commit, a non-dependence entry is
+  allocated in the next longer-history table so the surrounding branch
+  context — already in the history by then — disambiguates the next
+  occurrence (Fig. 3).
+
+Update rules (Sec. IV-B):
+  correct MDP prediction → usefulness++;
+  correct bypass → bypass++;
+  incorrect memory-dependence prediction → usefulness--;
+  incorrect bypass prediction → bypass := 0.
+
+Allocation rules (Sec. IV-C): dependence entries start with usefulness 6,
+non-dependence entries with usefulness 2; allocation targets the table after
+the mispredicting one and walks upward ("try-again") when every way of the
+target set is protected (usefulness > 0); a failed first-target allocation
+decrements all four ways of that set.  Only entries with usefulness 0 may be
+evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.uop import OFFSET_BYPASSABLE, SAME_ADDRESS_BYPASSABLE, BypassClass, MicroOp
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from .configs import MASCOT_DEFAULT, MascotConfig
+from .tables import TableBank, TableKey
+
+__all__ = ["Mascot", "MascotEntry"]
+
+
+@dataclass
+class MascotEntry:
+    """One MASCOT entry (Fig. 6): tag, distance, usefulness, bypass.
+
+    ``distance == 0`` encodes a non-dependence.  Counters are stored as
+    plain ints (bounds enforced by the owning predictor's config) — entries
+    are created and updated millions of times per run, so this is the one
+    place where we trade the :class:`SaturatingCounter` convenience for
+    speed; the bounds logic lives in :meth:`Mascot._bump`.
+    """
+
+    tag: int
+    distance: int
+    usefulness: int
+    bypass: int
+
+    # Optional F1 bookkeeping (Sec. IV-F tuning); see Mascot(track_f1=True).
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def is_nondependence(self) -> bool:
+        return self.distance == 0
+
+
+class Mascot(MDPredictor):
+    """The MASCOT predictor (default configuration: Sec. IV-B, 14 KiB)."""
+
+    def __init__(self, config: MascotConfig = MASCOT_DEFAULT,
+                 track_f1: bool = False):
+        self.config = config
+        self.name = config.name
+        self.bank = TableBank(
+            history_lengths=config.history_lengths,
+            table_entries=config.table_entries,
+            tag_bits=config.tag_bits,
+            ways=config.ways,
+            path_bits=config.path_bits,
+        )
+        self.track_f1 = track_f1
+        self._useful_max = (1 << config.usefulness_bits) - 1
+        self._bypass_max = (1 << config.bypass_bits) - 1
+        self._distance_max = (1 << config.distance_bits) - 1
+        self._loads_seen = 0
+        # Fig. 13 statistics: predictions served per table (index == table
+        # number; the extra last slot counts base-predictor defaults).
+        self.predictions_per_table = [0] * (config.num_tables + 1)
+        # Aggregate event counters (useful in tests and reports).
+        self.allocations_dep = 0
+        self.allocations_nondep = 0
+        self.allocation_failures = 0
+
+    # ------------------------------------------------------------------ utils
+
+    def _bump(self, value: int, up: bool, maximum: int) -> int:
+        if up:
+            return min(maximum, value + 1)
+        return max(0, value - 1)
+
+    def _supported_bypass(self, bypass: BypassClass) -> bool:
+        """Whether the microarchitecture could bypass this dependence.
+
+        MASCOT's default hardware assumption (Sec. IV-E) is same-address
+        bypassing: DIRECT and NO_OFFSET.  The ``offset_bypass`` extension
+        adds a shift field enabling OFFSET-class bypassing too.
+        """
+        if bypass in (BypassClass.DIRECT, BypassClass.NO_OFFSET):
+            return True
+        return self.config.offset_bypass and bypass is BypassClass.OFFSET
+
+    def _lookup(self, keys: Tuple[TableKey, ...]
+                ) -> Tuple[Optional[int], Optional[int], Optional[MascotEntry]]:
+        """Longest-history tag match: (table, way, entry) or Nones."""
+        for t in range(len(self.bank) - 1, -1, -1):
+            key = keys[t]
+            ways = self.bank[t].ways_at(key.index)
+            for w, entry in enumerate(ways):
+                if entry is not None and entry.tag == key.tag:
+                    return t, w, entry
+        return None, None, None
+
+    # ---------------------------------------------------------------- predict
+
+    def predict(self, uop: MicroOp) -> Prediction:
+        keys = self.bank.keys(uop.pc)
+        table, way, entry = self._lookup(keys)
+        meta = {"keys": keys, "way": way}
+
+        if entry is None:
+            # Base prediction: no dependence (Sec. IV-B).
+            self.predictions_per_table[len(self.bank)] += 1
+            return Prediction(PredictionKind.NO_DEP, meta=meta)
+
+        self.predictions_per_table[table] += 1
+        if entry.is_nondependence:
+            return Prediction(
+                PredictionKind.NO_DEP, source_table=table, meta=meta
+            )
+
+        # "Whenever the distance field is not zero, a memory dependence
+        # prediction is made regardless of the value of the usefulness
+        # field, whereas SMB is only predicted if both the usefulness and
+        # bypassing counters are saturated."
+        kind = PredictionKind.MDP
+        if (
+            self.config.smb_enabled
+            and entry.usefulness == self._useful_max
+            and entry.bypass == self._bypass_max
+        ):
+            kind = PredictionKind.SMB
+        return Prediction(
+            kind, distance=entry.distance, source_table=table, meta=meta
+        )
+
+    # ------------------------------------------------------------------ train
+
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        keys: Tuple[TableKey, ...] = prediction.meta["keys"]
+        source = prediction.source_table
+        entry = self._reacquire(keys, source)
+
+        predicted_dep = prediction.predicts_dependence
+        actual_dep = actual.has_dependence
+        actual_distance = min(actual.distance, self._distance_max)
+
+        if not predicted_dep and not actual_dep:
+            # Correct non-dependence.  Strengthen an explicit non-dependence
+            # entry; the base predictor has no state to reinforce.
+            if entry is not None and entry.is_nondependence:
+                entry.usefulness = self._bump(entry.usefulness, True,
+                                              self._useful_max)
+                if self.track_f1:
+                    entry.tp += 1  # for ND entries, "positive" = non-dep
+        elif not predicted_dep and actual_dep:
+            # Missed dependence (false negative; MDP squash).  Allocate the
+            # correct dependence with more context (base mispredict → N0).
+            if entry is not None:
+                entry.usefulness = self._bump(entry.usefulness, False,
+                                              self._useful_max)
+                if self.track_f1:
+                    entry.fn += 1
+            self._allocate(
+                keys,
+                start=0 if source is None else source + 1,
+                distance=actual_distance,
+                bypassable=self._supported_bypass(actual.bypass),
+            )
+        elif predicted_dep and not actual_dep:
+            # False dependence (false positive).  For MDP this only cost
+            # issue delay; for SMB the pipeline squashed.  Either way, the
+            # context was inadequate: decay and allocate a NON-DEPENDENCE
+            # entry in the next table — the core MASCOT mechanism.
+            if entry is not None:
+                entry.usefulness = self._bump(entry.usefulness, False,
+                                              self._useful_max)
+                if prediction.kind is PredictionKind.SMB:
+                    entry.bypass = 0
+                if self.track_f1:
+                    entry.fp += 1
+            if self.config.allocate_nondependencies:
+                self._allocate(
+                    keys,
+                    start=0 if source is None else source + 1,
+                    distance=0,
+                    bypassable=False,
+                )
+        else:
+            # Both predicted and actual dependence.
+            if prediction.distance == actual_distance:
+                if entry is not None:
+                    entry.usefulness = self._bump(entry.usefulness, True,
+                                                  self._useful_max)
+                    if actual.bypass.is_bypassable and self._supported_bypass(
+                        actual.bypass
+                    ):
+                        entry.bypass = self._bump(entry.bypass, True,
+                                                  self._bypass_max)
+                    else:
+                        # An SMB prediction here was wrong (partial overlap
+                        # or unsupported geometry): reset; and even without
+                        # an SMB prediction, a non-bypassable instance
+                        # restarts confidence building.
+                        entry.bypass = 0
+                    if self.track_f1:
+                        entry.tp += 1
+            else:
+                # Conflict with a *different* store: squash; learn the
+                # correct distance with more context.
+                if entry is not None:
+                    entry.usefulness = self._bump(entry.usefulness, False,
+                                                  self._useful_max)
+                    if prediction.kind is PredictionKind.SMB:
+                        entry.bypass = 0
+                    if self.track_f1:
+                        entry.fp += 1
+                self._allocate(
+                    keys,
+                    start=0 if source is None else source + 1,
+                    distance=actual_distance,
+                    bypassable=self._supported_bypass(actual.bypass),
+                )
+
+        self._loads_seen += 1
+        if (
+            self.config.decay_period
+            and self._loads_seen % self.config.decay_period == 0
+        ):
+            self._decay_all()
+
+    # ------------------------------------------------------------- allocation
+
+    def _reacquire(self, keys: Tuple[TableKey, ...], source: Optional[int]
+                   ) -> Optional[MascotEntry]:
+        """Re-find the predicting entry at commit time.
+
+        Hardware re-indexes with the keys carried in the instruction; if the
+        entry was replaced between prediction and commit the tag no longer
+        matches and no update is applied to it.
+        """
+        if source is None:
+            return None
+        key = keys[source]
+        for entry in self.bank[source].ways_at(key.index):
+            if entry is not None and entry.tag == key.tag:
+                return entry
+        return None
+
+    def _allocate(self, keys: Tuple[TableKey, ...], start: int,
+                  distance: int, bypassable: bool) -> Optional[int]:
+        """Try-again allocation (Sec. IV-C).
+
+        Walks tables ``start, start+1, ...`` looking for a way with
+        usefulness 0 (empty ways qualify).  If the *first* target set has no
+        victim, all of its ways are decremented — "regardless of whether an
+        allocation was made to a bigger table or not" — keeping stale
+        entries short-lived.  Returns the table allocated into, or None.
+        """
+        start = min(start, len(self.bank) - 1)
+        is_nondep = distance == 0
+        allocated_table: Optional[int] = None
+
+        for t in range(start, len(self.bank)):
+            key = keys[t]
+            ways = self.bank[t].ways_at(key.index)
+            victim = None
+            for w, entry in enumerate(ways):
+                if entry is None:
+                    victim = w
+                    break
+                if entry.usefulness == 0:
+                    victim = w
+                    break
+            if victim is not None:
+                if is_nondep:
+                    usefulness = self.config.alloc_usefulness_nondep
+                    bypass = 0
+                    self.allocations_nondep += 1
+                else:
+                    usefulness = self.config.alloc_usefulness_dep
+                    # "The bypassing counter is initially set to 1 when a new
+                    # conflict is allocated, provided it is a potential
+                    # bypassing scenario; otherwise... 0." (Sec. IV-E)
+                    bypass = 1 if bypassable else 0
+                    self.allocations_dep += 1
+                self.bank[t].write(
+                    key.index, victim,
+                    MascotEntry(tag=key.tag, distance=distance,
+                                usefulness=usefulness, bypass=bypass),
+                )
+                allocated_table = t
+                break
+            if t == start:
+                # First-target failure: age the whole set.
+                self.allocation_failures += 1
+                for entry in ways:
+                    if entry is not None:
+                        entry.usefulness = max(0, entry.usefulness - 1)
+        return allocated_table
+
+    def _decay_all(self) -> None:
+        """Optional periodic usefulness decay (disabled by default)."""
+        for table in self.bank.tables:
+            for _, _, entry in table.entries():
+                entry.usefulness = max(0, entry.usefulness - 1)
+
+    # ----------------------------------------------------------------- events
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self.bank.on_branch(pc, taken)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self.bank.on_indirect(pc, target)
+
+    # -------------------------------------------------------------------- misc
+
+    @property
+    def storage_bits(self) -> int:
+        return self.config.storage_bits
+
+    @property
+    def supports_smb(self) -> bool:
+        return self.config.smb_enabled
+
+    @property
+    def bypassable_classes(self) -> frozenset:
+        if self.config.offset_bypass:
+            return OFFSET_BYPASSABLE
+        return SAME_ADDRESS_BYPASSABLE
+
+    def reset(self) -> None:
+        self.bank.clear()
+        self._loads_seen = 0
+        self.predictions_per_table = [0] * (self.config.num_tables + 1)
+        self.allocations_dep = 0
+        self.allocations_nondep = 0
+        self.allocation_failures = 0
+
+    def reset_f1_scores(self) -> None:
+        """Zero all per-entry F1 counters (start of a new tuning period)."""
+        for table in self.bank.tables:
+            for _, _, entry in table.entries():
+                entry.tp = entry.fp = entry.fn = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Mascot(name={self.name!r}, tables={self.config.num_tables}, "
+            f"size={self.storage_kib:.1f}KiB)"
+        )

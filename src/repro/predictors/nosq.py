@@ -1,0 +1,218 @@
+"""NoSQ-style combined MDP+SMB predictor (Sha, Martin & Roth, MICRO 2006).
+
+The SMB baseline of Figs. 7/8 (Table II: 19 KB).  Following Sec. V's
+description of the evaluated variant:
+
+* two 4-way tables of 2K entries each — a **path-dependent** table indexed
+  GShare-style (PC XOR folded global history) and a **path-independent**
+  table indexed by PC alone;
+* entries hold a 22-bit tag, 7-bit confidence counter, 7-bit store distance
+  and 2-bit LRU;
+* **high-confidence** hits in the path-dependent table perform SMB;
+  low-confidence path-dependent hits only mark the load to wait for the
+  predicted store (MDP); path-independent predictions are never allowed to
+  perform SMB; on a complete miss the load executes speculatively (NO_DEP).
+
+Confidence builds by +1 on a correct distance and resets to 0 on a wrong
+one, making SMB appropriately hard to earn; the predictor has no notion of
+negative (non-dependence) context, which is why its false-dependence rate
+in Fig. 8 dwarfs MASCOT's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.bitops import mask
+from ..common.history import GlobalHistory
+from ..trace.uop import OFFSET_BYPASSABLE, BypassClass, MicroOp
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+
+__all__ = ["NoSQ", "NoSQEntry"]
+
+
+@dataclass
+class NoSQEntry:
+    """One NoSQ table entry."""
+
+    tag: int
+    distance: int
+    confidence: int
+    lru: int = 0
+
+
+class NoSQ(MDPredictor):
+    """The NoSQ-derived MDP+SMB baseline."""
+
+    name = "nosq"
+
+    TAG_BITS = 22
+    CONFIDENCE_BITS = 7
+    DISTANCE_BITS = 7
+    LRU_BITS = 2
+
+    def __init__(
+        self,
+        entries_per_table: int = 2048,
+        ways: int = 4,
+        history_bits: int = 8,
+        smb_confidence: int = 16,
+    ):
+        if entries_per_table % ways:
+            raise ValueError("entries must divide into ways")
+        self.entries_per_table = entries_per_table
+        self.ways = ways
+        self.num_sets = entries_per_table // ways
+        self.index_bits = max((self.num_sets - 1).bit_length(), 1)
+        if (1 << self.index_bits) != self.num_sets:
+            raise ValueError("sets must be a power of two")
+        self.history_bits = history_bits
+        self.smb_confidence = smb_confidence
+        self._confidence_max = (1 << self.CONFIDENCE_BITS) - 1
+        self._distance_max = (1 << self.DISTANCE_BITS) - 1
+        self._lru_max = (1 << self.LRU_BITS) - 1
+
+        self._ghist = GlobalHistory(max_bits=max(history_bits, 1) + 8)
+        self._hist_fold = self._ghist.attach_fold(history_bits, self.index_bits)
+        self._tag_fold = self._ghist.attach_fold(history_bits, self.TAG_BITS)
+
+        # Table 0: path-dependent; table 1: path-independent.
+        self._tables: List[List[List[Optional[NoSQEntry]]]] = [
+            [[None] * ways for _ in range(self.num_sets)] for _ in range(2)
+        ]
+
+    # ------------------------------------------------------------------ indexing
+
+    def _keys(self, pc: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """((index, tag) for path-dependent, (index, tag) path-independent)."""
+        pc_part = pc >> 1
+        dep_index = (pc_part ^ self._hist_fold.value) & mask(self.index_bits)
+        dep_tag = (pc_part ^ self._tag_fold.value) & mask(self.TAG_BITS)
+        ind_index = pc_part & mask(self.index_bits)
+        ind_tag = (pc_part >> self.index_bits) & mask(self.TAG_BITS)
+        return (dep_index, dep_tag), (ind_index, ind_tag)
+
+    def _find(self, table: int, index: int, tag: int) -> Optional[NoSQEntry]:
+        for entry in self._tables[table][index]:
+            if entry is not None and entry.tag == tag:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------- predict
+
+    def predict(self, uop: MicroOp) -> Prediction:
+        dep_key, ind_key = self._keys(uop.pc)
+        meta = {"dep_key": dep_key, "ind_key": ind_key}
+
+        entry = self._find(0, *dep_key)
+        if entry is not None:
+            self._touch(0, dep_key[0], entry)
+            if entry.confidence >= self.smb_confidence:
+                return Prediction(PredictionKind.SMB, distance=entry.distance,
+                                  source_table=0, meta=meta)
+            return Prediction(PredictionKind.MDP, distance=entry.distance,
+                              source_table=0, meta=meta)
+
+        entry = self._find(1, *ind_key)
+        if entry is not None:
+            # Path-independent predictions never perform SMB (Sec. V).
+            self._touch(1, ind_key[0], entry)
+            return Prediction(PredictionKind.MDP, distance=entry.distance,
+                              source_table=1, meta=meta)
+
+        return Prediction(PredictionKind.NO_DEP, meta=meta)
+
+    def _touch(self, table: int, index: int, used: NoSQEntry) -> None:
+        for entry in self._tables[table][index]:
+            if entry is None:
+                continue
+            if entry is used:
+                entry.lru = 0
+            elif entry.lru < self._lru_max:
+                entry.lru += 1
+
+    # --------------------------------------------------------------------- train
+
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        dep_key = prediction.meta["dep_key"]
+        ind_key = prediction.meta["ind_key"]
+        dep_entry = self._find(0, *dep_key)
+        ind_entry = self._find(1, *ind_key)
+
+        if actual.has_dependence:
+            distance = min(actual.distance, self._distance_max)
+            # NoSQ's datapath shifts/truncates, so OFFSET-class
+            # dependencies are bypassable too (Sec. II-B.2: "even covering
+            # cases such as partial-word bypassing").
+            bypassable = actual.bypass in OFFSET_BYPASSABLE
+            for table, key, entry in ((0, dep_key, dep_entry),
+                                      (1, ind_key, ind_entry)):
+                if entry is not None and entry.distance == distance:
+                    # Bypass confidence only accumulates on instances the
+                    # hardware could actually have bypassed.
+                    if bypassable or table == 1:
+                        entry.confidence = min(self._confidence_max,
+                                               entry.confidence + 1)
+                    else:
+                        entry.confidence = 0
+                else:
+                    self._install(table, key, distance)
+        else:
+            # False dependence: reset confidence (no non-dependence memory).
+            for entry in (dep_entry, ind_entry):
+                if entry is not None:
+                    entry.confidence = 0
+
+    def _install(self, table: int, key: Tuple[int, int], distance: int) -> None:
+        index, tag = key
+        ways = self._tables[table][index]
+        # Retrain in place when the tag is already resident (wrong-distance
+        # case) so a stale duplicate cannot shadow the update.
+        for entry in ways:
+            if entry is not None and entry.tag == tag:
+                entry.distance = distance
+                entry.confidence = 1
+                return
+        victim: Optional[int] = None
+        for w, entry in enumerate(ways):
+            if entry is None:
+                victim = w
+                break
+        if victim is None:
+            victim = max(
+                (entry.lru, w) for w, entry in enumerate(ways)
+            )[1]
+        ways[victim] = NoSQEntry(tag=tag, distance=distance, confidence=1)
+
+    # -------------------------------------------------------------------- events
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self._ghist.push_conditional(taken)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self._ghist.push_indirect(target)
+
+    # ---------------------------------------------------------------------- misc
+
+    @property
+    def storage_bits(self) -> int:
+        entry_bits = (self.TAG_BITS + self.CONFIDENCE_BITS
+                      + self.DISTANCE_BITS + self.LRU_BITS)
+        return 2 * self.entries_per_table * entry_bits
+
+    @property
+    def supports_smb(self) -> bool:
+        return True
+
+    @property
+    def bypassable_classes(self) -> frozenset:
+        return OFFSET_BYPASSABLE
+
+    def reset(self) -> None:
+        self._tables = [
+            [[None] * self.ways for _ in range(self.num_sets)]
+            for _ in range(2)
+        ]
+        self._ghist.reset()

@@ -1,0 +1,218 @@
+"""PHAST memory-dependence predictor (Kim & Ros, HPCA 2024).
+
+The state-of-the-art MDP baseline the paper compares against.  PHAST
+organises entries into TAGE-like tables of increasing context length and
+looks all tables up in parallel, predicting from the longest-history match.
+Its distinguishing feature is the allocation policy: instead of TAGE's
+next-longer-table-after-the-mispredicting-one rule, PHAST chooses the
+allocation table from the **number of branches between the conflicting
+store and the load** — the context that must be captured for the pair to be
+re-identified.  Entries carry a 7-bit distance, 16-bit tag, 4-bit
+usefulness counter and 2-bit LRU field (Table II: 14.5 KB).
+
+PHAST tracks only dependencies.  A false dependence merely decrements the
+mispredicting entry's usefulness — exactly the behaviour MASCOT's
+non-dependence allocation replaces.  PHAST performs MDP only (no SMB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..trace.uop import MicroOp
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from .tables import TableBank, TableKey
+
+__all__ = ["Phast", "PhastEntry", "PHAST_HISTORY_LENGTHS"]
+
+#: Table context lengths (branch counts).  The PHAST paper uses a geometric
+#: series over 8 tables; we use the same series as MASCOT so the two
+#: predictors differ only in policy, matching Table II's equal table count.
+PHAST_HISTORY_LENGTHS: Tuple[int, ...] = (0, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class PhastEntry:
+    """One PHAST entry: tag, distance, 4-bit usefulness, 2-bit LRU."""
+
+    tag: int
+    distance: int
+    usefulness: int
+    lru: int = 0  # 0 = most recently used within the set
+
+
+class Phast(MDPredictor):
+    """The PHAST predictor with the Table II configuration (14.5 KB)."""
+
+    name = "phast"
+
+    USEFULNESS_BITS = 4
+    LRU_BITS = 2
+    DISTANCE_BITS = 7
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = PHAST_HISTORY_LENGTHS,
+        entries_per_table: int = 512,
+        tag_bits: int = 16,
+        ways: int = 4,
+        alloc_usefulness: int = 8,
+    ):
+        self.history_lengths = tuple(history_lengths)
+        self.bank = TableBank(
+            history_lengths=self.history_lengths,
+            table_entries=(entries_per_table,) * len(self.history_lengths),
+            tag_bits=(tag_bits,) * len(self.history_lengths),
+            ways=ways,
+        )
+        self.tag_bits = tag_bits
+        self.ways = ways
+        self._useful_max = (1 << self.USEFULNESS_BITS) - 1
+        self._lru_max = (1 << self.LRU_BITS) - 1
+        self._distance_max = (1 << self.DISTANCE_BITS) - 1
+        self.alloc_usefulness = min(alloc_usefulness, self._useful_max)
+        self.predictions_per_table = [0] * (len(self.history_lengths) + 1)
+
+    # ------------------------------------------------------------------ predict
+
+    def _lookup(self, keys: Tuple[TableKey, ...]
+                ) -> Tuple[Optional[int], Optional[PhastEntry]]:
+        for t in range(len(self.bank) - 1, -1, -1):
+            key = keys[t]
+            for entry in self.bank[t].ways_at(key.index):
+                if entry is not None and entry.tag == key.tag:
+                    return t, entry
+        return None, None
+
+    def predict(self, uop: MicroOp) -> Prediction:
+        keys = self.bank.keys(uop.pc)
+        table, entry = self._lookup(keys)
+        meta = {"keys": keys}
+        # PHAST predicts a dependence on any tag hit; the usefulness counter
+        # only protects entries from eviction.  This is what makes false
+        # dependencies PHAST's dominant error class (Fig. 8): a conditional
+        # non-dependence can only be unlearned by slowly draining the
+        # counter, not by recording the non-dependence context.
+        if entry is None:
+            self.predictions_per_table[len(self.bank)] += 1
+            return Prediction(PredictionKind.NO_DEP, meta=meta)
+        self.predictions_per_table[table] += 1
+        self._touch_lru(table, keys[table], entry)
+        return Prediction(
+            PredictionKind.MDP, distance=entry.distance,
+            source_table=table, meta=meta,
+        )
+
+    def _touch_lru(self, table: int, key: TableKey, used: PhastEntry) -> None:
+        for entry in self.bank[table].ways_at(key.index):
+            if entry is None:
+                continue
+            if entry is used:
+                entry.lru = 0
+            elif entry.lru < self._lru_max:
+                entry.lru += 1
+
+    # -------------------------------------------------------------------- train
+
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        keys: Tuple[TableKey, ...] = prediction.meta["keys"]
+        source = prediction.source_table
+        entry = self._reacquire(keys, source)
+        actual_distance = min(actual.distance, self._distance_max)
+
+        predicted_dep = prediction.predicts_dependence
+        if predicted_dep and actual.has_dependence:
+            if prediction.distance == actual_distance:
+                if entry is not None:
+                    entry.usefulness = min(self._useful_max,
+                                           entry.usefulness + 1)
+            else:
+                if entry is not None:
+                    entry.usefulness = max(0, entry.usefulness - 1)
+                self._allocate(keys, actual)
+        elif predicted_dep and not actual.has_dependence:
+            # False dependence: PHAST only decays (no non-dependence entry).
+            if entry is not None:
+                entry.usefulness = max(0, entry.usefulness - 1)
+        elif not predicted_dep and actual.has_dependence:
+            # Missed dependence: learn the pair in the branch-distance table.
+            self._allocate(keys, actual)
+        # Correct non-dependence: nothing to reinforce.
+
+    def _reacquire(self, keys: Tuple[TableKey, ...], source: Optional[int]
+                   ) -> Optional[PhastEntry]:
+        if source is None:
+            return None
+        key = keys[source]
+        for entry in self.bank[source].ways_at(key.index):
+            if entry is not None and entry.tag == key.tag:
+                return entry
+        return None
+
+    def _allocation_table(self, branches_between: int) -> int:
+        """PHAST's signature policy: pick the table whose context length
+        just covers the branch count between the store and the load."""
+        for t, length in enumerate(self.history_lengths):
+            if length >= branches_between:
+                return t
+        return len(self.history_lengths) - 1
+
+    def _allocate(self, keys: Tuple[TableKey, ...],
+                  actual: ActualOutcome) -> None:
+        table = self._allocation_table(actual.branches_between)
+        key = keys[table]
+        ways = self.bank[table].ways_at(key.index)
+        distance = min(actual.distance, self._distance_max)
+
+        # Victim selection: empty way, else LRU among drained (usefulness 0)
+        # entries; if every way is still useful, age the LRU entry instead
+        # of allocating (PHAST protects its established context entries).
+        victim: Optional[int] = None
+        for w, entry in enumerate(ways):
+            if entry is None:
+                victim = w
+                break
+        if victim is None:
+            drained = [
+                (entry.lru, w) for w, entry in enumerate(ways)
+                if entry is not None and entry.usefulness == 0
+            ]
+            if drained:
+                victim = max(drained)[1]
+        if victim is None:
+            oldest = max(
+                (entry.lru, w) for w, entry in enumerate(ways)
+                if entry is not None
+            )[1]
+            ways[oldest].usefulness = max(0, ways[oldest].usefulness - 1)
+            return
+        self.bank[table].write(
+            key.index, victim,
+            PhastEntry(tag=key.tag, distance=distance,
+                       usefulness=self.alloc_usefulness),
+        )
+
+    # ------------------------------------------------------------------- events
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self.bank.on_branch(pc, taken)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self.bank.on_indirect(pc, target)
+
+    # --------------------------------------------------------------------- misc
+
+    @property
+    def storage_bits(self) -> int:
+        entry_bits = (
+            self.tag_bits + self.USEFULNESS_BITS + self.DISTANCE_BITS
+            + self.LRU_BITS
+        )
+        total_entries = sum(t.num_entries for t in self.bank.tables)
+        return entry_bits * total_entries
+
+    def reset(self) -> None:
+        self.bank.clear()
+        self.predictions_per_table = [0] * (len(self.history_lengths) + 1)

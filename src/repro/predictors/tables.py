@@ -1,0 +1,197 @@
+"""Generic set-associative tagged tables for TAGE-like MDP predictors.
+
+MASCOT and PHAST share the same storage organisation (Sec. IV-B / Table II):
+an array of tables with increasing global-history lengths, each 4-way
+set-associative, indexed and tagged by folds of the load PC, the global
+branch/path history.  This module provides that machinery once; the
+predictors differ only in entry contents and allocation/update policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from ..common.bitops import mask
+from ..common.hashing import table_index, table_tag
+from ..common.history import GlobalHistory, PathHistory
+
+__all__ = ["TableKey", "TaggedTable", "TableBank"]
+
+
+@dataclass(frozen=True)
+class TableKey:
+    """Predict-time (set index, tag) pair for one table.
+
+    Computed under the history in effect at prediction time and carried in
+    the prediction's metadata so commit-time training addresses the same
+    entries hardware would (the instruction payload carries the same bits).
+    """
+
+    index: int
+    tag: int
+
+
+E = TypeVar("E")
+
+
+class TaggedTable(Generic[E]):
+    """One history length's worth of storage: sets × ways of entries.
+
+    The table does not interpret entries; predictors supply an entry factory
+    and decide validity/replacement.  ``None`` marks an empty way.
+    """
+
+    def __init__(
+        self,
+        table_number: int,
+        history_length: int,
+        num_entries: int,
+        ways: int,
+        tag_bits: int,
+        ghist: GlobalHistory,
+        path: Optional[PathHistory] = None,
+    ):
+        if num_entries <= 0 or ways <= 0:
+            raise ValueError("table geometry must be positive")
+        if num_entries % ways:
+            raise ValueError(
+                f"table {table_number}: {num_entries} entries not divisible "
+                f"by {ways} ways"
+            )
+        self.table_number = table_number
+        self.history_length = history_length
+        self.num_entries = num_entries
+        self.ways = ways
+        self.tag_bits = tag_bits
+        self.num_sets = num_entries // ways
+        # A single-set table has index width 0 (every lookup hits set 0).
+        self.index_bits = (self.num_sets - 1).bit_length()
+        if (1 << self.index_bits) != self.num_sets:
+            raise ValueError(
+                f"table {table_number}: {self.num_sets} sets is not a power of two"
+            )
+        self._path = path
+        # History folds; length-0 tables have no history contribution and a
+        # single-set table (index width 0) needs no index fold.
+        if history_length > 0:
+            self._index_fold = (
+                ghist.attach_fold(history_length, self.index_bits)
+                if self.index_bits > 0 else None
+            )
+            self._tag_fold = ghist.attach_fold(history_length, tag_bits)
+            self._tag_fold2 = ghist.attach_fold(
+                history_length, max(tag_bits - 1, 1)
+            )
+        else:
+            self._index_fold = None
+            self._tag_fold = None
+            self._tag_fold2 = None
+        self._sets: List[List[Optional[E]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+
+    # -- key computation -------------------------------------------------------
+
+    def key(self, pc: int) -> TableKey:
+        """Compute this table's (index, tag) for a PC under current history."""
+        folded_index = self._index_fold.value if self._index_fold else 0
+        folded_tag = self._tag_fold.value if self._tag_fold else 0
+        folded_tag2 = self._tag_fold2.value if self._tag_fold2 else 0
+        path_value = 0
+        if self._path is not None and self.history_length > 0:
+            path_value = self._path.value & mask(
+                min(self.history_length, self._path.width)
+            )
+        index = table_index(
+            pc, self.index_bits, folded_index,
+            path_history=path_value, table_number=self.table_number,
+        )
+        tag = table_tag(pc, self.tag_bits, folded_tag, folded_tag2)
+        return TableKey(index, tag)
+
+    # -- storage access ----------------------------------------------------------
+
+    def ways_at(self, index: int) -> List[Optional[E]]:
+        """The (mutable) list of ways of one set."""
+        return self._sets[index]
+
+    def write(self, index: int, way: int, entry: Optional[E]) -> None:
+        self._sets[index][way] = entry
+
+    def entries(self):
+        """Iterate ``(index, way, entry)`` over occupied slots."""
+        for index, ways in enumerate(self._sets):
+            for way, entry in enumerate(ways):
+                if entry is not None:
+                    yield index, way, entry
+
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> None:
+        self._sets = [[None] * self.ways for _ in range(self.num_sets)]
+
+
+class TableBank:
+    """The full array of tagged tables plus the shared history registers.
+
+    ``history_lengths`` must be non-decreasing with table number, with table
+    0 traditionally using zero history (indexed by PC alone).
+    """
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int],
+        table_entries: Sequence[int],
+        tag_bits: Sequence[int],
+        ways: int = 4,
+        path_bits: int = 16,
+    ):
+        if not history_lengths:
+            raise ValueError("need at least one table")
+        if not (len(history_lengths) == len(table_entries) == len(tag_bits)):
+            raise ValueError("per-table parameter lists must align")
+        if list(history_lengths) != sorted(history_lengths):
+            raise ValueError("history lengths must be non-decreasing")
+        self.history_lengths = tuple(history_lengths)
+        self.ghist = GlobalHistory(max_bits=max(max(history_lengths), 1) + 8)
+        self.path = PathHistory(width=path_bits)
+        self.tables: List[TaggedTable] = [
+            TaggedTable(
+                table_number=t,
+                history_length=history_lengths[t],
+                num_entries=table_entries[t],
+                ways=ways,
+                tag_bits=tag_bits[t],
+                ghist=self.ghist,
+                path=self.path,
+            )
+            for t in range(len(history_lengths))
+        ]
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __getitem__(self, table: int) -> TaggedTable:
+        return self.tables[table]
+
+    def keys(self, pc: int) -> Tuple[TableKey, ...]:
+        """Predict-time keys for all tables (stored in prediction meta)."""
+        return tuple(table.key(pc) for table in self.tables)
+
+    # -- history updates -----------------------------------------------------
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self.ghist.push_conditional(taken)
+        self.path.push(pc)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self.ghist.push_indirect(target)
+        self.path.push(pc)
+
+    def clear(self) -> None:
+        for table in self.tables:
+            table.clear()
+        self.ghist.reset()
+        self.path.reset()

@@ -1,0 +1,161 @@
+"""TAGE-MDP: the original TAGE-based memory-dependence predictor.
+
+Sec. II-A: "TAGE-MDP, first mentioned in a paper by Perais et al., and most
+thoroughly explained by Kim and Ros, modifies the TAGE branch predictor to
+also predict memory dependencies.  It is a relatively simple augmentation
+of TAGE, repurposing the 3-bit saturating counter to predict the store
+distance, and adding a single bit u to encode usefulness.  If u is not 0,
+the entry can be used for predicting a memory dependence."
+
+This is the direct ancestor both PHAST and MASCOT improve on, included as
+an additional historical baseline.  Differences from MASCOT:
+
+* the distance field is only 3 bits (distances 1–7; longer dependencies
+  cannot be expressed and default to no-prediction);
+* a single usefulness bit — one false dependence silences the entry, one
+  correct prediction revives it (fast to silence, but no notion of *why*);
+* classic TAGE allocation (next longer table after the provider) with no
+  non-dependence entries;
+* MDP only, no SMB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..trace.uop import MicroOp
+from .base import ActualOutcome, MDPredictor, Prediction, PredictionKind
+from .tables import TableBank, TableKey
+
+__all__ = ["TageMdp", "TageMdpEntry"]
+
+
+@dataclass
+class TageMdpEntry:
+    """Tag + 3-bit distance + single usefulness bit."""
+
+    tag: int
+    distance: int  # 1..7
+    useful: bool
+
+
+class TageMdp(MDPredictor):
+    """The Perais et al. TAGE-MDP baseline (Sec. II-A)."""
+
+    name = "tage-mdp"
+
+    DISTANCE_BITS = 3
+
+    def __init__(
+        self,
+        history_lengths: Sequence[int] = (0, 2, 4, 8, 16, 32, 64, 128),
+        entries_per_table: int = 512,
+        tag_bits: int = 16,
+        ways: int = 4,
+    ):
+        self.history_lengths = tuple(history_lengths)
+        self.tag_bits = tag_bits
+        self.bank = TableBank(
+            history_lengths=self.history_lengths,
+            table_entries=(entries_per_table,) * len(self.history_lengths),
+            tag_bits=(tag_bits,) * len(self.history_lengths),
+            ways=ways,
+        )
+        self._distance_max = (1 << self.DISTANCE_BITS) - 1
+
+    # ------------------------------------------------------------------ lookup
+
+    def _lookup(self, keys: Tuple[TableKey, ...]
+                ) -> Tuple[Optional[int], Optional[TageMdpEntry]]:
+        for t in range(len(self.bank) - 1, -1, -1):
+            key = keys[t]
+            for entry in self.bank[t].ways_at(key.index):
+                if entry is not None and entry.tag == key.tag:
+                    return t, entry
+        return None, None
+
+    def predict(self, uop: MicroOp) -> Prediction:
+        keys = self.bank.keys(uop.pc)
+        table, entry = self._lookup(keys)
+        meta = {"keys": keys}
+        # "If u is not 0, the entry can be used for predicting a memory
+        # dependence" — a cleared u bit silences the entry.
+        if entry is None or not entry.useful:
+            return Prediction(PredictionKind.NO_DEP, meta=meta)
+        return Prediction(PredictionKind.MDP, distance=entry.distance,
+                          source_table=table, meta=meta)
+
+    # ------------------------------------------------------------------- train
+
+    def train(self, uop: MicroOp, prediction: Prediction,
+              actual: ActualOutcome) -> None:
+        keys: Tuple[TableKey, ...] = prediction.meta["keys"]
+        source = prediction.source_table
+        entry = self._reacquire(keys, source)
+
+        # Distances beyond the 3-bit field cannot be represented; the
+        # predictor simply cannot learn such pairs.
+        representable = 0 < actual.distance <= self._distance_max
+
+        if prediction.predicts_dependence:
+            if actual.distance == prediction.distance:
+                if entry is not None:
+                    entry.useful = True
+            else:
+                if entry is not None:
+                    entry.useful = False  # single-bit: one strike silences
+                if representable:
+                    self._allocate(keys, source, actual.distance)
+        else:
+            if representable:
+                self._allocate(keys, source, actual.distance)
+
+    def _reacquire(self, keys: Tuple[TableKey, ...], source: Optional[int]
+                   ) -> Optional[TageMdpEntry]:
+        if source is None:
+            return None
+        key = keys[source]
+        for entry in self.bank[source].ways_at(key.index):
+            if entry is not None and entry.tag == key.tag:
+                return entry
+        return None
+
+    def _allocate(self, keys: Tuple[TableKey, ...], source: Optional[int],
+                  distance: int) -> None:
+        """Classic TAGE allocation: next longer table, not-useful victims."""
+        start = 0 if source is None else min(source + 1, len(self.bank) - 1)
+        for t in range(start, len(self.bank)):
+            key = keys[t]
+            ways = self.bank[t].ways_at(key.index)
+            for w, entry in enumerate(ways):
+                if entry is None or not entry.useful:
+                    self.bank[t].write(key.index, w, TageMdpEntry(
+                        tag=key.tag, distance=distance, useful=True,
+                    ))
+                    return
+        # Everything useful: clear the u bits of the first candidate set so
+        # a future allocation can proceed (TAGE's aging, single-bit form).
+        key = keys[start]
+        for entry in self.bank[start].ways_at(key.index):
+            if entry is not None:
+                entry.useful = False
+
+    # ------------------------------------------------------------------- events
+
+    def on_branch(self, pc: int, taken: bool) -> None:
+        self.bank.on_branch(pc, taken)
+
+    def on_indirect(self, pc: int, target: int) -> None:
+        self.bank.on_indirect(pc, target)
+
+    # --------------------------------------------------------------------- misc
+
+    @property
+    def storage_bits(self) -> int:
+        entry_bits = self.tag_bits + self.DISTANCE_BITS + 1
+        total = sum(t.num_entries for t in self.bank.tables)
+        return entry_bits * total
+
+    def reset(self) -> None:
+        self.bank.clear()

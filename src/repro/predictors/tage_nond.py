@@ -1,0 +1,38 @@
+"""The Sec. VI-B ablation: a TAGE-like MDP/SMB predictor *without*
+non-dependence allocation.
+
+Structurally identical to MASCOT, but "on a false dependency, it will simply
+decrement the confidence of the predicting entry, similar to previous MDP
+and SMB implementations using TAGE" (Fig. 11).  The paper shows this variant
+accumulates more than 12× as many false dependencies, because un-learnable
+false dependencies can only die by slow counter decay — and the decayed
+entries then lose their SMB confidence too.
+
+Implemented as a configuration of :class:`~repro.predictors.mascot.Mascot`
+(``allocate_nondependencies=False``) so the comparison isolates exactly the
+allocation-policy difference.
+"""
+
+from __future__ import annotations
+
+from .configs import MASCOT_DEFAULT, MascotConfig
+from .mascot import Mascot
+
+__all__ = ["make_tage_no_nd", "TAGE_NO_ND_CONFIG"]
+
+#: MASCOT's default geometry with non-dependence allocation disabled.
+TAGE_NO_ND_CONFIG: MascotConfig = MASCOT_DEFAULT.with_(
+    name="tage-no-nd", allocate_nondependencies=False
+)
+
+
+def make_tage_no_nd(smb_enabled: bool = True) -> Mascot:
+    """Build the no-non-dependence ablation predictor.
+
+    ``smb_enabled=False`` gives the MDP-only variant used in the left half
+    of Fig. 11.
+    """
+    config = TAGE_NO_ND_CONFIG
+    if not smb_enabled:
+        config = config.with_(name="tage-no-nd-mdp", smb_enabled=False)
+    return Mascot(config)

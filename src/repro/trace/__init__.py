@@ -1,0 +1,77 @@
+"""Synthetic workload substrate: micro-ops, programs, traces, ground truth."""
+
+from .dependence import DependenceTracker, StoreRecord, classify_overlap
+from .generator import TraceGenerator, generate_trace
+from .profiles import SPEC_SUITE, WorkloadProfile, get_profile, suite_names
+from .simpoints import (
+    Interval,
+    SimPoint,
+    basic_block_vectors,
+    estimate_weighted,
+    rebase_interval,
+    select_simpoints,
+    split_intervals,
+)
+from .stream import FORMAT_VERSION, TraceFormatError, read_trace, write_trace
+from .program import (
+    CODE_BASE,
+    FILLER_REGION,
+    PAIR_GEOMETRY,
+    PAIR_REGION,
+    SLOT_STRIDE,
+    STREAM_REGION,
+    BranchBehavior,
+    IndirectBehavior,
+    PairInfo,
+    Program,
+    Segment,
+    StaticInst,
+    StaticKind,
+    build_program,
+)
+from .uop import MAX_STORE_DISTANCE, BypassClass, MicroOp, OpClass
+from .validate import TraceValidationError, ValidationReport, validate_trace
+
+__all__ = [
+    "Interval",
+    "SimPoint",
+    "basic_block_vectors",
+    "estimate_weighted",
+    "rebase_interval",
+    "select_simpoints",
+    "split_intervals",
+    "FORMAT_VERSION",
+    "TraceFormatError",
+    "read_trace",
+    "write_trace",
+    "DependenceTracker",
+    "StoreRecord",
+    "classify_overlap",
+    "TraceGenerator",
+    "generate_trace",
+    "SPEC_SUITE",
+    "WorkloadProfile",
+    "get_profile",
+    "suite_names",
+    "CODE_BASE",
+    "FILLER_REGION",
+    "PAIR_GEOMETRY",
+    "PAIR_REGION",
+    "SLOT_STRIDE",
+    "STREAM_REGION",
+    "BranchBehavior",
+    "IndirectBehavior",
+    "PairInfo",
+    "Program",
+    "Segment",
+    "StaticInst",
+    "StaticKind",
+    "build_program",
+    "MAX_STORE_DISTANCE",
+    "TraceValidationError",
+    "ValidationReport",
+    "validate_trace",
+    "BypassClass",
+    "MicroOp",
+    "OpClass",
+]

@@ -1,0 +1,644 @@
+"""Static program model for the synthetic workload generator.
+
+A synthetic benchmark is a loop over a static *body*: an ordered list of
+:class:`Segment` objects, each optionally guarded by a conditional branch.
+When a guard resolves not-taken its segment is skipped for that iteration —
+exactly how if-statements shape real instruction streams.  Skipping a segment
+that contains the producing store of a load/store pair is what makes the
+load's dependence (existence *and* distance) conditional on global branch
+history, the program behaviour MASCOT is built to capture (Sec. III's
+worked example).
+
+Store/load pairs address *rotating* slots (``base + (iteration % rotation) *
+SLOT_STRIDE``), modelling stack frames and circular buffers.  With rotation
+greater than one, a skipped store leaves the slot's previous write many
+iterations in the past — outside the in-flight window — so the load is
+genuinely non-dependent, not merely dependent at a longer distance.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .profiles import WorkloadProfile
+from .uop import BypassClass, OpClass
+
+__all__ = [
+    "StaticKind",
+    "BranchBehavior",
+    "IndirectBehavior",
+    "PairInfo",
+    "StaticInst",
+    "Segment",
+    "Program",
+    "build_program",
+    "SLOT_STRIDE",
+    "PAIR_REGION",
+    "FILLER_REGION",
+    "STREAM_REGION",
+    "CODE_BASE",
+]
+
+#: Byte spacing between rotating slots; chosen so no pair geometry
+#: (max load end = base + 10) can spill into a neighbouring slot.
+SLOT_STRIDE = 16
+
+#: Disjoint data regions.  Pair slots and filler slots never collide with the
+#: streaming array, keeping ground-truth dependence annotations exact.
+PAIR_REGION = 0x1000_0000
+FILLER_REGION = 0x2000_0000
+STREAM_REGION = 0x4000_0000
+
+#: Base of the synthetic code region (PCs).
+CODE_BASE = 0x40_0000
+
+
+class StaticKind(enum.Enum):
+    """Role of a static instruction inside the loop body."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP = "fp"
+    LOAD_PAIR = "load_pair"      # consumer side of a store/load pair
+    LOAD_STREAM = "load_stream"  # independent load over the big array
+    STORE_PAIR = "store_pair"    # producer side of a pair
+    STORE_FILLER = "store_filler"
+    BRANCH = "branch"            # in-body conditional branch
+    BRANCH_INDIRECT = "branch_indirect"
+
+
+_KIND_TO_OPCLASS = {
+    StaticKind.ALU: OpClass.ALU,
+    StaticKind.MUL: OpClass.MUL,
+    StaticKind.DIV: OpClass.DIV,
+    StaticKind.FP: OpClass.FP,
+    StaticKind.LOAD_PAIR: OpClass.LOAD,
+    StaticKind.LOAD_STREAM: OpClass.LOAD,
+    StaticKind.STORE_PAIR: OpClass.STORE,
+    StaticKind.STORE_FILLER: OpClass.STORE,
+    StaticKind.BRANCH: OpClass.BRANCH_COND,
+    StaticKind.BRANCH_INDIRECT: OpClass.BRANCH_INDIRECT,
+}
+
+
+class BranchBehavior:
+    """Outcome model of a static conditional branch.
+
+    Pattern branches repeat a fixed, randomly drawn taken/not-taken sequence
+    with occasional noise flips — learnable by a history-based direction
+    predictor.  Non-pattern branches are i.i.d. coin flips at ``bias`` —
+    irreducibly mispredicted at ``min(bias, 1 - bias)``.
+    """
+
+    __slots__ = ("bias", "pattern", "noise")
+
+    def __init__(self, bias: float, pattern: Optional[Sequence[bool]] = None,
+                 noise: float = 0.01):
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must be in [0, 1]")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.bias = bias
+        self.pattern = list(pattern) if pattern is not None else None
+        self.noise = noise
+
+    def outcome(self, iteration: int, rng: random.Random) -> bool:
+        if self.pattern is not None:
+            value = self.pattern[iteration % len(self.pattern)]
+            if self.noise and rng.random() < self.noise:
+                return not value
+            return value
+        return rng.random() < self.bias
+
+    @classmethod
+    def random_pattern(cls, bias: float, rng: random.Random,
+                       noise: float = 0.01) -> "BranchBehavior":
+        """Draw a periodic pattern whose taken rate approximates ``bias``.
+
+        Periods are powers of two so that the *joint* pattern of all the
+        program's branches has a short period (their lcm) — interleaved
+        coprime periods would make the global history effectively aperiodic,
+        which no history-based predictor (hardware or modelled) can learn,
+        unlike the correlated branch behaviour of real programs.
+        """
+        period = rng.choice((4, 8, 8, 16, 16))
+        pattern = [rng.random() < bias for _ in range(period)]
+        if not any(pattern):
+            pattern[rng.randrange(period)] = True
+        return cls(bias, pattern, noise)
+
+
+class IndirectBehavior:
+    """Target model of a static indirect branch: a periodic target sequence."""
+
+    __slots__ = ("targets", "pattern")
+
+    def __init__(self, targets: Sequence[int], pattern: Sequence[int]):
+        if not targets:
+            raise ValueError("indirect branch needs at least one target")
+        if any(not 0 <= p < len(targets) for p in pattern):
+            raise ValueError("pattern indexes out of range")
+        self.targets = list(targets)
+        self.pattern = list(pattern)
+
+    def target(self, iteration: int, rng: random.Random) -> int:
+        if not self.pattern:
+            return self.targets[rng.randrange(len(self.targets))]
+        return self.targets[self.pattern[iteration % len(self.pattern)]]
+
+    @classmethod
+    def random(cls, pc: int, rng: random.Random) -> "IndirectBehavior":
+        n_targets = rng.randint(2, 6)
+        targets = [pc + 0x40 * (i + 1) for i in range(n_targets)]
+        period = rng.choice((4, 8, 16))  # power-of-two, see random_pattern
+        pattern = [rng.randrange(n_targets) for _ in range(period)]
+        return cls(targets, pattern)
+
+
+@dataclass
+class PairInfo:
+    """Geometry and placement of one store/load pair.
+
+    ``rotation`` is the number of distinct slots the pair cycles through;
+    addresses advance by :data:`SLOT_STRIDE` per iteration modulo rotation.
+    ``conditional`` records that the producing store sits in a guarded
+    segment while the load does not (ground-truth metadata for tests and
+    analysis, not consumed by predictors).
+    """
+
+    pair_id: int
+    base_address: int
+    rotation: int
+    store_size: int
+    load_size: int
+    load_offset: int
+    bypass_class: BypassClass
+    conditional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rotation <= 0:
+            raise ValueError("rotation must be positive")
+        if self.store_size <= 0 or self.load_size <= 0:
+            raise ValueError("access sizes must be positive")
+        if self.load_offset < 0:
+            raise ValueError("load offset must be non-negative")
+        span = max(self.store_size, self.load_offset + self.load_size)
+        if span > SLOT_STRIDE:
+            raise ValueError(
+                f"pair {self.pair_id}: geometry spans {span} bytes, "
+                f"exceeding the {SLOT_STRIDE}-byte slot stride"
+            )
+
+    def store_address(self, iteration: int, stride: int = 1) -> int:
+        """Slot address for iteration; a writer's ``stride`` walks the slot
+        family in its own order (multi-writer pairs alias the load's slot
+        only on iterations where the walks coincide)."""
+        return (
+            self.base_address
+            + ((iteration * stride) % self.rotation) * SLOT_STRIDE
+        )
+
+    def load_address(self, iteration: int) -> int:
+        return self.store_address(iteration) + self.load_offset
+
+
+#: Pair geometry per bypass class: (store_size, load_size, load_offset).
+#: See Fig. 1: DIRECT = identical access; NO_OFFSET = aligned narrower load;
+#: OFFSET = contained load at a positive offset; MDP_ONLY = partial overlap
+#: (load extends past the end of the store).
+PAIR_GEOMETRY: Dict[BypassClass, Tuple[int, int, int]] = {
+    BypassClass.DIRECT: (8, 8, 0),
+    BypassClass.NO_OFFSET: (8, 4, 0),
+    BypassClass.OFFSET: (8, 4, 4),
+    BypassClass.MDP_ONLY: (8, 4, 6),
+}
+
+
+@dataclass
+class StaticInst:
+    """One static instruction of the loop body."""
+
+    pc: int
+    kind: StaticKind
+    #: Pair membership for LOAD_PAIR / STORE_PAIR.
+    pair: Optional[PairInfo] = None
+    #: Filler-store slot address (STORE_FILLER).
+    filler_address: int = 0
+    #: Stream-load parameters (LOAD_STREAM).
+    stream_stride: int = 64
+    stream_random: bool = False
+    stream_start: int = 0
+    #: Branch behaviour (BRANCH / BRANCH_INDIRECT).
+    branch: Optional[BranchBehavior] = None
+    indirect: Optional[IndirectBehavior] = None
+    #: Slot-walk stride for STORE_PAIR writers (see PairInfo.store_address).
+    writer_stride: int = 1
+    #: Force this memory op's address to hang off the live dataflow chain
+    #: (late-resolving address).
+    force_addr_chain: bool = False
+
+    @property
+    def op_class(self) -> OpClass:
+        return _KIND_TO_OPCLASS[self.kind]
+
+
+@dataclass
+class Segment:
+    """A contiguous run of static instructions, optionally guarded.
+
+    A guarded segment executes only in iterations where its guard branch
+    resolves taken.  The guard itself always executes (it is what decides).
+    """
+
+    index: int
+    guard: Optional[StaticInst]
+    body: List[StaticInst] = field(default_factory=list)
+
+    @property
+    def is_guarded(self) -> bool:
+        return self.guard is not None
+
+
+@dataclass
+class Program:
+    """A complete static synthetic program (loop body + metadata)."""
+
+    profile: WorkloadProfile
+    segments: List[Segment]
+    pairs: List[PairInfo]
+    loop_branch: StaticInst
+    seed: int
+
+    @property
+    def static_instructions(self) -> List[StaticInst]:
+        """All static instructions in program order (guards included)."""
+        out: List[StaticInst] = []
+        for segment in self.segments:
+            if segment.guard is not None:
+                out.append(segment.guard)
+            out.extend(segment.body)
+        out.append(self.loop_branch)
+        return out
+
+    @property
+    def body_size(self) -> int:
+        return len(self.static_instructions)
+
+
+def _draw_kind(rng: random.Random, profile: WorkloadProfile) -> StaticKind:
+    """Sample a non-guard instruction kind from the profile's mix."""
+    r = rng.random()
+    if r < profile.frac_load:
+        return StaticKind.LOAD_STREAM  # pairing decided in a later pass
+    r -= profile.frac_load
+    if r < profile.frac_store:
+        return StaticKind.STORE_FILLER
+    r -= profile.frac_store
+    if r < profile.frac_branch:
+        if rng.random() < profile.frac_indirect:
+            return StaticKind.BRANCH_INDIRECT
+        return StaticKind.BRANCH
+    r -= profile.frac_branch
+    if r < profile.frac_fp:
+        return StaticKind.FP
+    # Remaining ALU work, with a sprinkle of long-latency integer ops.
+    roll = rng.random()
+    if roll < 0.04:
+        return StaticKind.DIV
+    if roll < 0.14:
+        return StaticKind.MUL
+    return StaticKind.ALU
+
+
+class _BypassClassAllocator:
+    """Deterministic largest-deficit assignment of pair classes.
+
+    A program has only a few dozen pairs; i.i.d. sampling routinely starves
+    the rare classes (Offset at ~4 % share) entirely, which would erase
+    whole Fig. 2 columns.  Largest-remainder assignment keeps the realised
+    mix as close to the profile as integer counts allow.
+    """
+
+    def __init__(self, mix: Dict[BypassClass, float]):
+        self._mix = dict(mix)
+        self._counts = {cls: 0 for cls in mix}
+        self._total = 0
+
+    def next(self) -> BypassClass:
+        best = max(
+            self._mix,
+            key=lambda cls: (
+                self._mix[cls] * (self._total + 1) - self._counts[cls],
+                self._mix[cls],
+            ),
+        )
+        self._counts[best] += 1
+        self._total += 1
+        return best
+
+
+def build_program(profile: WorkloadProfile, seed: int = 0) -> Program:
+    """Construct a static program realising ``profile``.
+
+    The builder works in four passes:
+
+    1. lay out guarded/unguarded segments and fill them with instruction
+       kinds drawn from the profile mix;
+    2. splice in *tight conditional pairs* — a guarded segment holding the
+       producing store immediately followed by an unguarded segment opening
+       with the consuming load (Fig. 3's scenario, see
+       :class:`~repro.trace.profiles.WorkloadProfile`);
+    3. convert a ``dep_fraction`` share of the remaining loads into pair
+       loads, each matched to an earlier store such that the expected number
+       of intervening stores approximates ``filler_stores_mean``, honouring
+       the conditional/unconditional split;
+    4. assign addresses (pair slots, filler slots, stream cursors) and
+       branch behaviours.
+    """
+    rng = random.Random(seed)
+    next_pc = CODE_BASE
+
+    def take_pc() -> int:
+        nonlocal next_pc
+        pc = next_pc
+        next_pc += 4
+        return pc
+
+    # Pass 1: segments and raw kinds. ---------------------------------------
+    segments: List[Segment] = []
+    for seg_index in range(profile.num_segments):
+        # Segment 0 is never guarded so every iteration has a spine of
+        # always-executed work (and somewhere to place unconditional pairs).
+        guarded = seg_index > 0 and rng.random() < 0.5
+        guard: Optional[StaticInst] = None
+        if guarded:
+            if rng.random() < profile.branch_pattern_fraction:
+                behavior = BranchBehavior.random_pattern(
+                    profile.guard_taken_bias, rng
+                )
+            else:
+                behavior = BranchBehavior(profile.guard_taken_bias)
+            guard = StaticInst(take_pc(), StaticKind.BRANCH, branch=behavior)
+        length = max(3, int(round(rng.gauss(
+            profile.segment_length_mean, profile.segment_length_mean / 3.0
+        ))))
+        body: List[StaticInst] = []
+        for _ in range(length):
+            kind = _draw_kind(rng, profile)
+            inst = StaticInst(take_pc(), kind)
+            if kind is StaticKind.BRANCH:
+                # In-body branches are biased, as real-code branches are:
+                # even when the pattern is not history-learnable, a bimodal
+                # fallback predicts them at their bias.
+                if rng.random() < profile.branch_pattern_fraction:
+                    bias = rng.uniform(0.6, 0.95)
+                    inst.branch = BranchBehavior.random_pattern(bias, rng)
+                else:
+                    inst.branch = BranchBehavior(rng.uniform(0.7, 0.95))
+            elif kind is StaticKind.BRANCH_INDIRECT:
+                inst.indirect = IndirectBehavior.random(inst.pc, rng)
+            body.append(inst)
+        segments.append(Segment(seg_index, guard, body))
+
+    pairs: List[PairInfo] = []
+    class_allocator = _BypassClassAllocator(profile.bypass_mix)
+
+    # Pass 2: tight conditional pairs (Fig. 3 scenario). -----------------------
+    expected_loads = profile.num_segments * profile.segment_length_mean * (
+        profile.frac_load
+    )
+    n_tight = int(round(
+        expected_loads
+        * profile.dep_fraction
+        * profile.conditional_dep_fraction
+        * profile.tight_conditional_fraction
+    ))
+    for _ in range(n_tight):
+        cls = class_allocator.next()
+        store_size, load_size, load_offset = PAIR_GEOMETRY[cls]
+        # Mostly rotation > 1 (conditional *existence* of the dependence,
+        # the Fig. 3 pathology that yields false dependencies); a small
+        # minority rotate through one slot, making the *distance*
+        # conditional instead (a squash-prone case for everyone).
+        rotation = 8 if rng.random() < 0.9 else 1
+        pair = PairInfo(
+            pair_id=len(pairs),
+            base_address=0,
+            rotation=rotation,
+            store_size=store_size,
+            load_size=load_size,
+            load_offset=load_offset,
+            bypass_class=cls,
+            conditional=True,
+        )
+        pairs.append(pair)
+        if rng.random() < profile.branch_pattern_fraction:
+            behavior = BranchBehavior.random_pattern(profile.guard_taken_bias, rng)
+        else:
+            behavior = BranchBehavior(profile.guard_taken_bias)
+        guard = StaticInst(take_pc(), StaticKind.BRANCH, branch=behavior)
+        store_segment = Segment(0, guard, [
+            StaticInst(take_pc(), StaticKind.STORE_PAIR, pair=pair),
+            StaticInst(take_pc(), StaticKind.ALU),
+        ])
+        load_segment = Segment(0, None, [
+            StaticInst(take_pc(), StaticKind.LOAD_PAIR, pair=pair),
+            StaticInst(take_pc(), StaticKind.ALU),
+            StaticInst(take_pc(), StaticKind.ALU),
+        ])
+        # Splice the two segments, adjacent, at a random position (but never
+        # before segment 0, the unguarded spine).
+        where = rng.randint(1, len(segments))
+        segments[where:where] = [store_segment, load_segment]
+    # Pass 2b: multi-writer pairs (the Store Sets over-serialisation
+    # scenario, Sec. VI-A).  Two writers walk the same slot family with
+    # strides 1 and 5 over rotation 8: they alias exactly on even
+    # iterations, so which store the load depends on is the loop parity — a
+    # signal every short history window carries, learnable by any
+    # context-sensitive predictor but invisible to Store Sets.  The second
+    # writer's address resolves late (pointer chase), making a
+    # serialise-behind-last-fetched policy genuinely expensive.
+    n_multi = int(round(
+        expected_loads * profile.dep_fraction * profile.multi_writer_fraction
+    ))
+    for _ in range(n_multi):
+        cls = class_allocator.next()
+        store_size, load_size, load_offset = PAIR_GEOMETRY[cls]
+        pair = PairInfo(
+            pair_id=len(pairs),
+            base_address=0,
+            rotation=8,
+            store_size=store_size,
+            load_size=load_size,
+            load_offset=load_offset,
+            bypass_class=cls,
+            conditional=False,
+        )
+        pairs.append(pair)
+        writer_a = Segment(0, None, [
+            StaticInst(take_pc(), StaticKind.STORE_PAIR, pair=pair,
+                       writer_stride=1),
+            StaticInst(take_pc(), StaticKind.ALU),
+        ])
+        if rng.random() < profile.branch_pattern_fraction:
+            behavior = BranchBehavior.random_pattern(0.85, rng)
+        else:
+            behavior = BranchBehavior(0.85)
+        writer_b = Segment(0, StaticInst(take_pc(), StaticKind.BRANCH,
+                                         branch=behavior), [
+            StaticInst(take_pc(), StaticKind.STORE_PAIR, pair=pair,
+                       writer_stride=5, force_addr_chain=True),
+            StaticInst(take_pc(), StaticKind.ALU),
+        ])
+        reader = Segment(0, None, [
+            StaticInst(take_pc(), StaticKind.LOAD_PAIR, pair=pair),
+            StaticInst(take_pc(), StaticKind.ALU),
+        ])
+        where = rng.randint(1, len(segments))
+        segments[where:where] = [writer_a, writer_b, reader]
+
+    for index, segment in enumerate(segments):
+        segment.index = index
+
+    # Pass 3: loose pair assignment. ---------------------------------------------
+    # Collect loads and stores with their segment indices, in program order.
+    placed: List[Tuple[int, StaticInst]] = []  # (segment index, inst)
+    for segment in segments:
+        for inst in segment.body:
+            placed.append((segment.index, inst))
+
+    loads = [(s, i) for s, i in placed if i.kind is StaticKind.LOAD_STREAM]
+    stores = [(s, i) for s, i in placed if i.kind is StaticKind.STORE_FILLER]
+    store_positions = {id(inst): pos for pos, (_, inst) in enumerate(stores)}
+    order = {id(inst): pos for pos, (_, inst) in enumerate(placed)}
+    paired_store_ids = set()
+    guarded_by_segment = {seg.index: seg.is_guarded for seg in segments}
+
+    # Tight pairs already realised part of the dependence and conditional
+    # budgets; the loose pass covers the remainder.
+    loose_dep_prob = profile.dep_fraction * (
+        1.0 - profile.conditional_dep_fraction
+        * profile.tight_conditional_fraction
+    )
+    loose_cond_prob = profile.conditional_dep_fraction * (
+        1.0 - profile.tight_conditional_fraction
+    )
+
+    def eligible_stores(load_seg: int, load_pos: int, conditional: bool
+                        ) -> List[Tuple[int, StaticInst]]:
+        """Stores usable as the producer for a load, honouring guard rules."""
+        found = []
+        for seg, store in stores:
+            if id(store) in paired_store_ids:
+                continue
+            if seg > load_seg:
+                continue
+            if conditional:
+                # Producer must be guarded; the load must execute regardless,
+                # so it cannot share the producer's segment.
+                if not guarded_by_segment[seg] or seg == load_seg:
+                    continue
+            else:
+                # Unconditional: store and load always execute together —
+                # either both in unguarded segments or in the *same* segment.
+                if guarded_by_segment[seg] and seg != load_seg:
+                    continue
+                if guarded_by_segment[load_seg] and seg != load_seg:
+                    continue
+            if order[id(store)] >= order[id(loads[load_pos][1])]:
+                continue  # store must statically precede the load
+            found.append((seg, store))
+        return found
+
+    for load_pos, (load_seg, load_inst) in enumerate(loads):
+        if rng.random() >= loose_dep_prob:
+            continue
+        conditional = (
+            rng.random() < loose_cond_prob
+            and not guarded_by_segment[load_seg]
+        )
+        candidates = eligible_stores(load_seg, load_pos, conditional)
+        if not candidates and conditional:
+            conditional = False
+            candidates = eligible_stores(load_seg, load_pos, conditional)
+        if not candidates:
+            continue  # realised dep_fraction falls slightly short; fine
+        # Prefer the candidate whose static store gap (number of static
+        # stores between producer and load) approximates the filler target.
+        target_gap = max(0, int(round(rng.expovariate(
+            1.0 / max(profile.filler_stores_mean, 0.25)
+        ))))
+        load_store_rank = sum(
+            1 for _, st in stores if order[id(st)] < order[id(load_inst)]
+        )
+        best = min(
+            candidates,
+            key=lambda c: abs(
+                (load_store_rank - 1 - store_positions[id(c[1])]) - target_gap
+            ),
+        )
+        _, store_inst = best
+        cls = class_allocator.next()
+        store_size, load_size, load_offset = PAIR_GEOMETRY[cls]
+        # Conditional-existence pairs rotate through many slots so a skipped
+        # store leaves the load with no in-flight producer; a minority rotate
+        # through a single slot, making the *distance* conditional instead.
+        if conditional:
+            rotation = 8 if rng.random() < 0.7 else 1
+        else:
+            rotation = 1 if rng.random() < 0.8 else 4
+        pair = PairInfo(
+            pair_id=len(pairs),
+            base_address=0,  # assigned in pass 3
+            rotation=rotation,
+            store_size=store_size,
+            load_size=load_size,
+            load_offset=load_offset,
+            bypass_class=cls,
+            conditional=conditional,
+        )
+        pairs.append(pair)
+        store_inst.kind = StaticKind.STORE_PAIR
+        store_inst.pair = pair
+        load_inst.kind = StaticKind.LOAD_PAIR
+        load_inst.pair = pair
+        paired_store_ids.add(id(store_inst))
+
+    # Pass 3: addresses. --------------------------------------------------------
+    next_pair_base = PAIR_REGION
+    for pair in pairs:
+        pair.base_address = next_pair_base
+        next_pair_base += pair.rotation * SLOT_STRIDE + SLOT_STRIDE
+
+    filler_index = 0
+    stream_index = 0
+    for segment in segments:
+        for inst in segment.body:
+            if inst.kind is StaticKind.STORE_FILLER:
+                inst.filler_address = FILLER_REGION + filler_index * SLOT_STRIDE
+                filler_index += 1
+            elif inst.kind is StaticKind.LOAD_STREAM:
+                inst.stream_random = rng.random() >= profile.stride_fraction
+                inst.stream_stride = rng.choice((8, 16, 64, 64))
+                inst.stream_start = (
+                    STREAM_REGION
+                    + (stream_index * 4096) % max(profile.footprint, 4096)
+                )
+                stream_index += 1
+
+    # The loop-back branch: almost always taken, a real history contributor.
+    loop_branch = StaticInst(
+        take_pc(), StaticKind.BRANCH, branch=BranchBehavior(0.999, noise=0.0)
+    )
+
+    return Program(
+        profile=profile,
+        segments=segments,
+        pairs=pairs,
+        loop_branch=loop_branch,
+        seed=seed,
+    )

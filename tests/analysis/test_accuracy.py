@@ -1,0 +1,169 @@
+"""Tests for outcome classification (the Fig. 5 decision tree)."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyStats,
+    OutcomeKind,
+    classify,
+)
+from repro.predictors.base import ActualOutcome, Prediction, PredictionKind
+from repro.trace.uop import BypassClass
+
+
+def nodep_pred():
+    return Prediction(PredictionKind.NO_DEP)
+
+
+def mdp_pred(distance=3):
+    return Prediction(PredictionKind.MDP, distance=distance)
+
+
+def smb_pred(distance=3):
+    return Prediction(PredictionKind.SMB, distance=distance)
+
+
+def actual_dep(distance=3, bypass=BypassClass.DIRECT):
+    return ActualOutcome(distance=distance, store_seq=1, bypass=bypass)
+
+
+def actual_none():
+    return ActualOutcome(distance=0, store_seq=None, bypass=BypassClass.NONE)
+
+
+class TestClassification:
+    def test_correct_nodep(self):
+        out = classify(nodep_pred(), actual_none())
+        assert out.kind is OutcomeKind.CORRECT_NODEP
+        assert not out.kind.is_misprediction
+
+    def test_missed_dependence(self):
+        out = classify(nodep_pred(), actual_dep())
+        assert out.kind is OutcomeKind.MISSED_DEP
+        assert out.kind.is_speculative_error
+        assert out.kind.causes_squash
+        assert not out.kind.is_false_dependence
+
+    def test_correct_mdp(self):
+        out = classify(mdp_pred(3), actual_dep(3))
+        assert out.kind is OutcomeKind.CORRECT_MDP
+        assert out.store_match
+
+    def test_false_dependence_mdp_no_squash(self):
+        """Fig. 5: MDP + no conflict -> no squash, opportunity lost."""
+        out = classify(mdp_pred(), actual_none())
+        assert out.kind is OutcomeKind.FALSE_DEP_MDP
+        assert out.kind.is_false_dependence
+        assert not out.kind.causes_squash
+
+    def test_false_dependence_smb_squashes(self):
+        """Fig. 5: SMB + no dependence -> squash."""
+        out = classify(smb_pred(), actual_none())
+        assert out.kind is OutcomeKind.FALSE_DEP_SMB
+        assert out.kind.is_false_dependence
+        assert out.kind.causes_squash
+
+    def test_wrong_store_mdp(self):
+        out = classify(mdp_pred(3), actual_dep(7))
+        assert out.kind is OutcomeKind.WRONG_STORE_MDP
+        assert out.kind.causes_squash
+
+    def test_wrong_store_smb(self):
+        out = classify(smb_pred(3), actual_dep(7))
+        assert out.kind is OutcomeKind.WRONG_STORE_SMB
+        assert out.kind.causes_squash
+
+    def test_correct_smb(self):
+        out = classify(smb_pred(3), actual_dep(3, BypassClass.DIRECT))
+        assert out.kind is OutcomeKind.CORRECT_SMB
+        assert not out.kind.is_misprediction
+
+    def test_smb_on_partial_overlap_squashes(self):
+        out = classify(smb_pred(3), actual_dep(3, BypassClass.MDP_ONLY))
+        assert out.kind is OutcomeKind.SMB_NOT_BYPASSABLE
+        assert out.kind.causes_squash
+        assert out.store_match
+
+    def test_smb_on_offset_respects_hardware_classes(self):
+        # Default hardware: no offset bypassing -> squash.
+        out = classify(smb_pred(3), actual_dep(3, BypassClass.OFFSET))
+        assert out.kind is OutcomeKind.SMB_NOT_BYPASSABLE
+        # With offset-capable hardware it is correct.
+        extended = frozenset({BypassClass.DIRECT, BypassClass.NO_OFFSET,
+                              BypassClass.OFFSET})
+        out = classify(smb_pred(3), actual_dep(3, BypassClass.OFFSET),
+                       bypassable_classes=extended)
+        assert out.kind is OutcomeKind.CORRECT_SMB
+
+    def test_store_seq_match_preferred_over_distance(self):
+        pred = Prediction(PredictionKind.MDP, store_seq=42)
+        actual = ActualOutcome(distance=9, store_seq=42,
+                               bypass=BypassClass.DIRECT)
+        assert classify(pred, actual).kind is OutcomeKind.CORRECT_MDP
+
+    def test_distance_capped_comparison(self):
+        """Actual distances beyond 127 compare against the capped value."""
+        pred = mdp_pred(127)
+        actual = ActualOutcome(distance=300, store_seq=1,
+                               bypass=BypassClass.DIRECT)
+        assert classify(pred, actual).kind is OutcomeKind.CORRECT_MDP
+
+
+class TestAccuracyStats:
+    def _stats_with(self, outcomes):
+        stats = AccuracyStats()
+        for pred, actual in outcomes:
+            stats.record(classify(pred, actual))
+        return stats
+
+    def test_counts(self):
+        stats = self._stats_with([
+            (nodep_pred(), actual_none()),
+            (nodep_pred(), actual_dep()),
+            (mdp_pred(), actual_none()),
+            (smb_pred(3), actual_dep(3)),
+        ])
+        assert stats.loads == 4
+        assert stats.mispredictions == 2
+        assert stats.false_dependencies == 1
+        assert stats.speculative_errors == 1
+        assert stats.squashes == 1
+
+    def test_prediction_counts(self):
+        stats = self._stats_with([
+            (nodep_pred(), actual_none()),
+            (mdp_pred(), actual_none()),
+            (smb_pred(), actual_none()),
+        ])
+        assert stats.prediction_counts[PredictionKind.NO_DEP] == 1
+        assert stats.prediction_counts[PredictionKind.MDP] == 1
+        assert stats.prediction_counts[PredictionKind.SMB] == 1
+
+    def test_mpki(self):
+        stats = self._stats_with([(nodep_pred(), actual_dep())])
+        stats.instructions = 1000
+        assert stats.mpki() == pytest.approx(1.0)
+        assert stats.mpki(2000) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            stats.mpki(0)
+
+    def test_misprediction_mix_by_predicted_type(self):
+        stats = self._stats_with([
+            (nodep_pred(), actual_dep()),                 # NO_DEP mispredict
+            (mdp_pred(3), actual_dep(7)),                 # MDP mispredict
+            (smb_pred(3), actual_dep(3, BypassClass.MDP_ONLY)),  # SMB
+        ])
+        mix = stats.misprediction_mix()
+        assert mix[PredictionKind.NO_DEP] == 1
+        assert mix[PredictionKind.MDP] == 1
+        assert mix[PredictionKind.SMB] == 1
+
+    def test_merge(self):
+        a = self._stats_with([(nodep_pred(), actual_dep())])
+        a.instructions = 100
+        b = self._stats_with([(mdp_pred(3), actual_dep(3))])
+        b.instructions = 200
+        a.merge(b)
+        assert a.loads == 2
+        assert a.instructions == 300
+        assert a.mispredictions == 1

@@ -1,0 +1,126 @@
+"""Tests for the F1 tuning methodology (Sec. IV-F)."""
+
+import pytest
+
+from repro.analysis.f1 import (
+    F1Recorder,
+    RankedF1Profile,
+    merge_profiles,
+    suggest_table_sizes,
+)
+from repro.predictors.configs import MASCOT_DEFAULT
+from repro.predictors.mascot import Mascot
+
+from tests.conftest import drive_predictor, small_trace
+
+
+class TestF1Recorder:
+    def test_requires_tracking_predictor(self):
+        with pytest.raises(ValueError):
+            F1Recorder(Mascot(MASCOT_DEFAULT, track_f1=False))
+
+    def test_positive_period(self):
+        with pytest.raises(ValueError):
+            F1Recorder(Mascot(track_f1=True), period_loads=0)
+
+    def test_profile_shape(self):
+        predictor = Mascot(track_f1=True)
+        recorder = F1Recorder(predictor, period_loads=500)
+        trace = small_trace("perlbench1", 10_000)
+        for uop, pred, actual in drive_predictor(predictor, trace,
+                                                 collect=True):
+            recorder.tick()
+        profile = recorder.finish()
+        assert len(profile.ranked) == 8
+        for t, scores in enumerate(profile.ranked):
+            assert len(scores) == MASCOT_DEFAULT.table_entries[t]
+
+    def test_scores_ranked_descending(self):
+        predictor = Mascot(track_f1=True)
+        recorder = F1Recorder(predictor, period_loads=500)
+        trace = small_trace("perlbench1", 10_000)
+        for _ in drive_predictor(predictor, trace, collect=True):
+            recorder.tick()
+        profile = recorder.finish()
+        for scores in profile.ranked:
+            assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+    def test_scores_in_unit_interval(self):
+        predictor = Mascot(track_f1=True)
+        recorder = F1Recorder(predictor, period_loads=1000)
+        trace = small_trace("gcc1", 8_000)
+        for _ in drive_predictor(predictor, trace, collect=True):
+            recorder.tick()
+        profile = recorder.finish()
+        for scores in profile.ranked:
+            assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_counters_reset_each_period(self):
+        predictor = Mascot(track_f1=True)
+        recorder = F1Recorder(predictor, period_loads=200)
+        trace = small_trace("perlbench1", 6_000)
+        for _ in drive_predictor(predictor, trace, collect=True):
+            recorder.tick()
+        recorder.finish()
+        # After finish() all counters are reset.
+        for table in predictor.bank.tables:
+            for _, _, entry in table.entries():
+                assert entry.tp == entry.fp == entry.fn == 0
+
+    def test_low_context_tables_used_most(self):
+        """The paper's Fig. 13/14 observation: early tables carry the most
+        useful entries."""
+        predictor = Mascot(track_f1=True)
+        recorder = F1Recorder(predictor, period_loads=2000)
+        trace = small_trace("perlbench1", 20_000)
+        for _ in drive_predictor(predictor, trace, collect=True):
+            recorder.tick()
+        profile = recorder.finish()
+        first_half = sum(profile.table_mean(t) for t in range(4))
+        second_half = sum(profile.table_mean(t) for t in range(4, 8))
+        assert first_half > second_half
+
+
+class TestMergeProfiles:
+    def test_merge_averages(self):
+        p1 = RankedF1Profile(ranked=[[1.0, 0.5]], periods=1)
+        p2 = RankedF1Profile(ranked=[[0.0, 0.5]], periods=1)
+        merged = merge_profiles([p1, p2])
+        assert merged.ranked == [[0.5, 0.5]]
+        assert merged.periods == 2
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_profiles([])
+
+
+class TestSuggestTableSizes:
+    def test_hot_table_grows(self):
+        profile = RankedF1Profile(ranked=[[0.9] * 8], periods=1)
+        assert suggest_table_sizes(profile, [8]) == [16]
+
+    def test_cold_tail_shrinks(self):
+        scores = [0.9] * 4 + [0.0] * 12
+        profile = RankedF1Profile(ranked=[scores], periods=1)
+        assert suggest_table_sizes(profile, [16]) == [4]
+
+    def test_half_cold_halves(self):
+        scores = [0.9] * 3 + [0.1] * 5
+        profile = RankedF1Profile(ranked=[scores], periods=1)
+        assert suggest_table_sizes(profile, [8]) == [4]
+
+    def test_dead_table_quarters(self):
+        profile = RankedF1Profile(ranked=[[0.0] * 16], periods=1)
+        # Clamped to one full set (4 ways) at minimum.
+        assert suggest_table_sizes(profile, [16]) == [4]
+
+    def test_balanced_table_unchanged(self):
+        scores = [1.0, 0.9, 0.8, 0.7, 0.65, 0.6, 0.55, 0.52]
+        profile = RankedF1Profile(ranked=[scores], periods=1)
+        assert suggest_table_sizes(profile, [8]) == [16] or (
+            suggest_table_sizes(profile, [8]) == [8]
+        )
+
+    def test_occupied_fraction(self):
+        profile = RankedF1Profile(ranked=[[0.5, 0.5, 0.0, 0.0]], periods=1)
+        assert profile.occupied_fraction(0) == pytest.approx(0.5)

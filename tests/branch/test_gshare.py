@@ -1,0 +1,82 @@
+"""Tests for the GShare direction predictor."""
+
+import random
+
+import pytest
+
+from repro.branch.gshare import GShare
+
+
+class TestConstruction:
+    def test_storage_bits(self):
+        assert GShare(index_bits=10).storage_bits == 2 * 1024
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GShare(index_bits=0)
+        with pytest.raises(ValueError):
+            GShare(history_bits=-1)
+
+
+class TestLearning:
+    def test_always_taken(self):
+        pred = GShare()
+        correct = sum(
+            pred.predict_and_train(0x400000, True) for _ in range(200)
+        )
+        assert correct >= 198  # at most a cold-start error or two
+
+    def test_always_not_taken(self):
+        pred = GShare()
+        for _ in range(10):
+            pred.predict_and_train(0x400000, False)
+        assert all(
+            pred.predict_and_train(0x400000, False) for _ in range(100)
+        )
+
+    def test_short_pattern(self):
+        pred = GShare()
+        pattern = [True, True, False]
+        # Warm up.
+        for i in range(300):
+            pred.predict_and_train(0x400000, pattern[i % 3])
+        correct = sum(
+            pred.predict_and_train(0x400000, pattern[i % 3])
+            for i in range(300)
+        )
+        assert correct >= 290
+
+    def test_biased_random_branch(self):
+        rng = random.Random(0)
+        pred = GShare()
+        correct = 0
+        for _ in range(4000):
+            taken = rng.random() < 0.9
+            correct += pred.predict_and_train(0x400020, taken)
+        # Should be near the bias (90%), definitely above chance.
+        assert correct / 4000 > 0.75
+
+
+class TestStats:
+    def test_counters_update(self):
+        pred = GShare()
+        pred.predict_and_train(0x400000, True)
+        assert pred.stats.conditional_branches == 1
+
+    def test_mpki(self):
+        pred = GShare()
+        for _ in range(100):
+            pred.predict_and_train(0x400000, True)
+        assert pred.stats.mpki(10_000) == pytest.approx(
+            pred.stats.mispredictions / 10
+        )
+        with pytest.raises(ValueError):
+            pred.stats.mpki(0)
+
+    def test_indirect_last_target(self):
+        pred = GShare()
+        assert not pred.observe_indirect(0x400100, 0x500000)  # cold miss
+        assert pred.observe_indirect(0x400100, 0x500000)      # repeat hits
+        assert not pred.observe_indirect(0x400100, 0x600000)  # change misses
+        assert pred.stats.indirect_branches == 3
+        assert pred.stats.indirect_mispredictions == 2

@@ -1,0 +1,132 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitops import (
+    bits_required,
+    extract_bits,
+    fold_bits,
+    mask,
+    parity,
+    rotate_left,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(3) == 0b111
+        assert mask(8) == 0xFF
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_popcount(self, width):
+        assert bin(mask(width)).count("1") == width
+
+
+class TestBitsRequired:
+    def test_zero_needs_one_bit(self):
+        assert bits_required(0) == 1
+
+    def test_powers_of_two(self):
+        assert bits_required(1) == 1
+        assert bits_required(2) == 2
+        assert bits_required(255) == 8
+        assert bits_required(256) == 9
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bits_required(-5)
+
+
+class TestFoldBits:
+    def test_identity_when_fits(self):
+        assert fold_bits(0b1011, 4, 4) == 0b1011
+
+    def test_masks_when_narrower_input(self):
+        assert fold_bits(0b1011, 2, 4) == 0b11
+
+    def test_simple_fold(self):
+        # 8 bits folded to 4: low nibble XOR high nibble.
+        assert fold_bits(0xAB, 8, 4) == (0xA ^ 0xB)
+
+    def test_three_chunk_fold(self):
+        value = 0b1100_1010_0110
+        expected = 0b1100 ^ 0b1010 ^ 0b0110
+        assert fold_bits(value, 12, 4) == expected
+
+    def test_zero_width_output(self):
+        assert fold_bits(0xFFFF, 16, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=16))
+    def test_result_fits_width(self, value, in_width, out_width):
+        assert 0 <= fold_bits(value, in_width, out_width) < (1 << out_width)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=1, max_value=12))
+    def test_fold_is_linear_under_xor(self, a, b, width):
+        assert (fold_bits(a, 32, width) ^ fold_bits(b, 32, width)
+                == fold_bits(a ^ b, 32, width))
+
+
+class TestExtractBits:
+    def test_low_bits(self):
+        assert extract_bits(0b101101, 0, 3) == 0b101
+
+    def test_middle_bits(self):
+        assert extract_bits(0b101101, 2, 3) == 0b011
+
+    def test_beyond_value(self):
+        assert extract_bits(0b1, 8, 4) == 0
+
+
+class TestRotateLeft:
+    def test_simple(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+
+    def test_wraparound(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_is_identity(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_zero_width(self):
+        assert rotate_left(0b1011, 2, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=0, max_value=64),
+           st.integers(min_value=1, max_value=16))
+    def test_inverse(self, value, amount, width):
+        value &= mask(width)
+        rotated = rotate_left(value, amount, width)
+        back = rotate_left(rotated, width - (amount % width), width)
+        assert back == value
+
+
+class TestParity:
+    def test_zero(self):
+        assert parity(0) == 0
+
+    def test_single_bit(self):
+        assert parity(0b1000) == 1
+
+    def test_two_bits(self):
+        assert parity(0b1010) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            parity(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def test_matches_popcount(self, value):
+        assert parity(value) == bin(value).count("1") % 2

@@ -1,0 +1,135 @@
+"""Tests for SaturatingCounter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.counters import SaturatingCounter
+
+
+class TestConstruction:
+    def test_default_starts_at_zero(self):
+        assert SaturatingCounter(3).value == 0
+
+    def test_initial_value(self):
+        assert SaturatingCounter(3, initial=6).value == 6
+
+    def test_maximum(self):
+        assert SaturatingCounter(3).maximum == 7
+        assert SaturatingCounter(7).maximum == 127
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_out_of_range_initial_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=4)
+        with pytest.raises(ValueError):
+            SaturatingCounter(2, initial=-1)
+
+
+class TestIncrementDecrement:
+    def test_increment(self):
+        c = SaturatingCounter(3)
+        assert c.increment() == 1
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(2, initial=3)
+        c.increment()
+        assert c.value == 3
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(2)
+        c.decrement()
+        assert c.value == 0
+
+    def test_increment_amount(self):
+        c = SaturatingCounter(3)
+        c.increment(5)
+        assert c.value == 5
+        c.increment(100)
+        assert c.value == 7
+
+    def test_decrement_amount(self):
+        c = SaturatingCounter(3, initial=7)
+        c.decrement(3)
+        assert c.value == 4
+        c.decrement(100)
+        assert c.value == 0
+
+    def test_negative_amounts_rejected(self):
+        c = SaturatingCounter(3)
+        with pytest.raises(ValueError):
+            c.increment(-1)
+        with pytest.raises(ValueError):
+            c.decrement(-1)
+
+
+class TestStates:
+    def test_is_saturated(self):
+        c = SaturatingCounter(2, initial=3)
+        assert c.is_saturated()
+        c.decrement()
+        assert not c.is_saturated()
+
+    def test_is_zero(self):
+        c = SaturatingCounter(2)
+        assert c.is_zero()
+        c.increment()
+        assert not c.is_zero()
+
+    def test_reset(self):
+        c = SaturatingCounter(3, initial=5)
+        c.reset()
+        assert c.value == 0
+        c.reset(7)
+        assert c.value == 7
+        with pytest.raises(ValueError):
+            c.reset(8)
+
+
+class TestComparisons:
+    def test_equality_with_int(self):
+        assert SaturatingCounter(3, initial=5) == 5
+        assert SaturatingCounter(3, initial=5) != 4
+
+    def test_equality_with_counter(self):
+        assert SaturatingCounter(3, initial=5) == SaturatingCounter(4, initial=5)
+
+    def test_ordering(self):
+        c = SaturatingCounter(3, initial=4)
+        assert c < 5
+        assert c <= 4
+        assert c > 3
+        assert c >= 4
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(3, initial=6)) == 6
+
+    def test_usable_as_index(self):
+        data = list(range(10))
+        assert data[SaturatingCounter(3, initial=2)] == 2
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.booleans(), max_size=200))
+def test_always_in_range(bits, steps):
+    """Property: the counter never leaves [0, 2**bits - 1]."""
+    c = SaturatingCounter(bits)
+    for up in steps:
+        if up:
+            c.increment()
+        else:
+            c.decrement()
+        assert 0 <= c.value <= c.maximum
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_increment_decrement_roundtrip(bits):
+    """From any interior state, +1 then -1 is identity."""
+    maximum = (1 << bits) - 1
+    for start in range(0, maximum):  # exclude the top (saturation absorbs)
+        c = SaturatingCounter(bits, initial=start)
+        c.increment()
+        c.decrement()
+        assert c.value == start

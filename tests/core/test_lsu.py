@@ -1,0 +1,55 @@
+"""Tests for the store timing window."""
+
+import pytest
+
+from repro.core.lsu import StoreTiming, StoreWindow
+
+
+def timing(seq, addr_resolve=10, data_ready=12):
+    return StoreTiming(seq=seq, pc=0x400200, addr_resolve=addr_resolve,
+                       data_ready=data_ready, drain=100, branch_count=0)
+
+
+class TestStoreTiming:
+    def test_forward_ready_is_max(self):
+        t = timing(0, addr_resolve=10, data_ready=20)
+        assert t.forward_ready == 20
+        t = timing(0, addr_resolve=30, data_ready=20)
+        assert t.forward_ready == 30
+
+
+class TestStoreWindow:
+    def test_by_seq(self):
+        w = StoreWindow()
+        w.add(timing(5))
+        assert w.by_seq(5).seq == 5
+        assert w.by_seq(6) is None
+        assert w.by_seq(None) is None
+
+    def test_by_distance(self):
+        w = StoreWindow()
+        for seq in (1, 2, 3):
+            w.add(timing(seq))
+        assert w.by_distance(1).seq == 3  # youngest
+        assert w.by_distance(3).seq == 1
+        assert w.by_distance(0) is None
+        assert w.by_distance(4) is None
+
+    def test_capacity_eviction(self):
+        w = StoreWindow(capacity=2)
+        for seq in (1, 2, 3):
+            w.add(timing(seq))
+        assert w.by_seq(1) is None
+        assert w.by_seq(3) is not None
+        assert len(w) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StoreWindow(capacity=0)
+
+    def test_reset(self):
+        w = StoreWindow()
+        w.add(timing(1))
+        w.reset()
+        assert len(w) == 0
+        assert w.by_seq(1) is None

@@ -1,0 +1,62 @@
+"""Tests for the issue-port contention model."""
+
+import pytest
+
+from repro.core.ports import PortPool, PortSet
+
+
+class TestPortPool:
+    def test_single_port_serialises(self):
+        pool = PortPool("alu", 1)
+        assert pool.issue(0) == 0
+        assert pool.issue(0) == 1
+        assert pool.issue(0) == 2
+
+    def test_multiple_ports_parallel(self):
+        pool = PortPool("alu", 3)
+        assert pool.issue(5) == 5
+        assert pool.issue(5) == 5
+        assert pool.issue(5) == 5
+        assert pool.issue(5) == 6  # fourth op waits
+
+    def test_ready_time_respected(self):
+        pool = PortPool("alu", 2)
+        assert pool.issue(10) == 10
+        assert pool.issue(3) == 3  # other port free earlier
+
+    def test_unpipelined_occupancy(self):
+        pool = PortPool("div", 1)
+        assert pool.issue(0, occupancy=12) == 0
+        assert pool.issue(0) == 12
+
+    def test_picks_earliest_free_port(self):
+        pool = PortPool("alu", 2)
+        pool.issue(0, occupancy=10)   # port 0 busy until 10
+        pool.issue(0, occupancy=2)    # port 1 busy until 2
+        assert pool.issue(0) == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            PortPool("none", 0)
+
+    def test_reset(self):
+        pool = PortPool("alu", 1)
+        pool.issue(0, occupancy=100)
+        pool.reset()
+        assert pool.issue(0) == 0
+
+
+class TestPortSet:
+    def test_pools_independent(self):
+        ports = PortSet(1, 1, 1, 1)
+        assert ports.load.issue(0) == 0
+        assert ports.alu.issue(0) == 0  # different pool, no contention
+        assert ports.load.issue(0) == 1
+
+    def test_reset_all(self):
+        ports = PortSet(1, 1, 1, 1)
+        ports.load.issue(0, occupancy=50)
+        ports.fp.issue(0, occupancy=50)
+        ports.reset()
+        assert ports.load.issue(0) == 0
+        assert ports.fp.issue(0) == 0

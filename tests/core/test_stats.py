@@ -1,0 +1,53 @@
+"""Tests for PipelineStats derived metrics."""
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyStats
+from repro.core.stats import PipelineStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = PipelineStats(instructions=1000, cycles=500)
+        assert stats.ipc == pytest.approx(2.0)
+
+    def test_ipc_zero_cycles(self):
+        assert PipelineStats(instructions=10, cycles=0).ipc == 0.0
+
+    def test_branch_mpki(self):
+        stats = PipelineStats(instructions=10_000, cycles=1,
+                              branch_mispredictions=25)
+        assert stats.branch_mpki == pytest.approx(2.5)
+
+    def test_branch_mpki_no_instructions(self):
+        assert PipelineStats().branch_mpki == 0.0
+
+    def test_squash_pki(self):
+        stats = PipelineStats(instructions=1000, cycles=1,
+                              memory_squashes=3)
+        assert stats.squash_pki == pytest.approx(3.0)
+
+    def test_mean_consumer_wait(self):
+        stats = PipelineStats(load_consumer_wait_cycles=100,
+                              load_consumers=25)
+        assert stats.mean_consumer_wait == pytest.approx(4.0)
+
+    def test_mean_consumer_wait_empty(self):
+        assert PipelineStats().mean_consumer_wait == 0.0
+
+
+class TestAsDict:
+    def test_contains_all_reported_metrics(self):
+        stats = PipelineStats(instructions=100, cycles=50, loads=20,
+                              stores=10, branches=15)
+        d = stats.as_dict()
+        assert d["instructions"] == 100
+        assert d["ipc"] == pytest.approx(2.0)
+        assert d["loads"] == 20
+        assert "mdp_mispredictions" in d
+        assert "mean_consumer_wait" in d
+
+    def test_accuracy_embedded(self):
+        stats = PipelineStats()
+        assert isinstance(stats.accuracy, AccuracyStats)
+        assert stats.as_dict()["mdp_mispredictions"] == 0

@@ -1,0 +1,65 @@
+"""Tests for the pipeline's warmed-measurement mode."""
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.predictors.mascot import Mascot
+from repro.predictors.perfect import PerfectMDP
+
+from tests.conftest import small_trace
+
+
+class TestMeasureFrom:
+    def test_counts_only_measured_region(self):
+        trace = small_trace("exchange2", 6_000)
+        stats = Pipeline(PerfectMDP()).run(trace, measure_from=2_000)
+        assert stats.instructions == 4_000
+        loads_measured = sum(
+            1 for u in trace[2_000:] if u.is_load
+        )
+        assert stats.loads == loads_measured
+        assert stats.accuracy.loads == loads_measured
+
+    def test_cycles_exclude_warmup(self):
+        trace = small_trace("exchange2", 6_000)
+        full = Pipeline(PerfectMDP()).run(trace)
+        warmed = Pipeline(PerfectMDP()).run(trace, measure_from=2_000)
+        assert warmed.cycles < full.cycles
+
+    def test_zero_warmup_equals_plain_run(self):
+        trace = small_trace("exchange2", 4_000)
+        a = Pipeline(Mascot()).run(trace)
+        b = Pipeline(Mascot()).run(trace, measure_from=0)
+        assert a.cycles == b.cycles
+        assert a.loads == b.loads
+
+    def test_warmed_ipc_at_least_cold(self):
+        """Warmup absorbs cold caches/predictors, so the measured region's
+        IPC should not be lower than the whole-trace IPC."""
+        trace = small_trace("gcc1", 12_000)
+        full = Pipeline(Mascot()).run(trace)
+        warmed = Pipeline(Mascot()).run(trace, measure_from=4_000)
+        assert warmed.ipc >= full.ipc * 0.95
+
+    def test_bad_boundary_rejected(self):
+        trace = small_trace("exchange2", 1_000)
+        with pytest.raises(ValueError):
+            Pipeline(PerfectMDP()).run(trace, measure_from=-1)
+        with pytest.raises(ValueError):
+            Pipeline(PerfectMDP()).run(trace, measure_from=2_000)
+
+    def test_full_warmup_is_degenerate_but_valid(self):
+        trace = small_trace("exchange2", 1_000)
+        stats = Pipeline(PerfectMDP()).run(trace, measure_from=1_000)
+        assert stats.instructions == 0
+
+    def test_predictor_still_trains_during_warmup(self):
+        """Mispredictions in the measured region should be fewer after a
+        warmup prefix than from a cold start over the same region."""
+        trace = small_trace("perlbench1", 24_000)
+        warmed = Pipeline(Mascot()).run(trace, measure_from=12_000)
+        cold_like = Pipeline(Mascot()).run(trace)
+        # The warmed measured-region misprediction count must be well below
+        # the whole-run count (which includes cold-start errors).
+        assert (warmed.accuracy.mispredictions
+                < cold_like.accuracy.mispredictions)

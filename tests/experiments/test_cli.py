@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_runs(self, capsys):
+        assert main(["simulate", "exchange2", "mascot",
+                     "--uops", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out
+        assert "exchange2 / mascot" in out
+
+    def test_lion_cove(self, capsys):
+        assert main(["simulate", "exchange2", "phast", "--uops", "4000",
+                     "--core", "lion-cove"]) == 0
+        assert "lion-cove" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "nonexistent", "mascot"])
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "lbm", "oracle-of-delphi"])
+
+
+class TestCompare:
+    def test_runs(self, capsys):
+        assert main(["compare", "mascot", "phast",
+                     "--benchmarks", "exchange2",
+                     "--uops", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+        assert "mascot" in out
+
+
+class TestAccuracy:
+    def test_runs(self, capsys):
+        assert main(["accuracy", "mascot",
+                     "--benchmarks", "exchange2",
+                     "--uops", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "false dependencies" in out
+
+
+class TestFigure:
+    def test_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "512/204/192/114" in capsys.readouterr().out
+
+    def test_fig2_reduced(self, capsys):
+        assert main(["figure", "fig2", "--benchmarks", "lbm",
+                     "--uops", "4000"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestSizes:
+    def test_prints_table2(self, capsys):
+        assert main(["sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "mascot" in out
+        assert "14.00" in out
+
+
+class TestGenTrace:
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        assert main(["gen-trace", "exchange2", str(path),
+                     "--uops", "2000"]) == 0
+        from repro.trace.stream import read_trace
+        assert len(read_trace(path)) == 2000
+
+
+class TestValidate:
+    def test_valid_trace_passes(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        main(["gen-trace", "exchange2", str(path), "--uops", "2000"])
+        capsys.readouterr()
+        assert main(["validate", str(path)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_corrupted_trace_fails(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        main(["gen-trace", "exchange2", str(path), "--uops", "1000"])
+        text = path.read_text().splitlines()
+        # Corrupt one load's dependence annotation fields (distance).
+        for i, line in enumerate(text[1:], start=1):
+            parts = line.split()
+            if parts[1] == "load" and parts[9] != "0":
+                parts[9] = "99"
+                text[i] = " ".join(parts)
+                break
+        path.write_text("\n".join(text) + "\n")
+        capsys.readouterr()
+        assert main(["validate", str(path)]) == 1
+        assert "ERROR" in capsys.readouterr().out

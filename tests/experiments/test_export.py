@@ -1,0 +1,58 @@
+"""Tests for CSV export of figure results."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.export import export_csv, to_csv_rows
+
+BENCHES = ["exchange2", "lbm"]
+N = 5_000
+
+
+class TestToCsvRows:
+    def test_ipc_figure(self):
+        result = figures.fig7_ipc_full(BENCHES, N)
+        rows = to_csv_rows(result)
+        assert rows[0] == ["benchmark", "nosq", "phast", "mascot"]
+        assert rows[-1][0] == "geomean"
+        assert len(rows) == 2 + len(BENCHES)
+
+    def test_fig2(self):
+        result = figures.fig2_smb_opportunities(BENCHES, N)
+        rows = to_csv_rows(result)
+        assert rows[0][0] == "benchmark"
+        assert len(rows) == 1 + len(BENCHES)
+
+    def test_fig8(self):
+        result = figures.fig8_mispredictions(BENCHES, N)
+        rows = to_csv_rows(result)
+        assert rows[0] == ["predictor", "total", "false_dependencies",
+                           "speculative_errors"]
+
+    def test_fig10(self):
+        result = figures.fig10_prediction_mix(BENCHES, N)
+        rows = to_csv_rows(result)
+        assert "pred_no_dep" in rows[0]
+        for row in rows[1:]:
+            assert abs(sum(row[1:4]) - 100.0) < 0.01
+
+    def test_fig13(self):
+        result = figures.fig13_table_usage(BENCHES, N)
+        rows = to_csv_rows(result)
+        assert rows[1][0] == "table 1"
+        assert rows[-1][0] == "base"
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_csv_rows(object())
+
+
+class TestExportCsv:
+    def test_writes_parseable_file(self, tmp_path):
+        result = figures.fig13_table_usage(["exchange2"], N)
+        path = export_csv(result, tmp_path / "fig13.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "source,percent"
+        assert len(lines) == 10  # 8 tables + base + header
+        total = sum(float(line.split(",")[1]) for line in lines[1:])
+        assert total == pytest.approx(100.0, abs=0.1)

@@ -1,0 +1,61 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import (
+    csv_lines,
+    format_percent,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatPercent:
+    def test_gain(self):
+        assert format_percent(1.019) == "+1.90%"
+
+    def test_loss(self):
+        assert format_percent(0.99) == "-1.00%"
+
+    def test_flat(self):
+        assert format_percent(1.0) == "+0.00%"
+
+    def test_digits(self):
+        assert format_percent(1.12345, digits=1) == "+12.3%"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.0], ["longer-name", 2.5]],
+                            title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "longer-name" in text
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456]], float_digits=2)
+        assert "1.23" in text
+        assert "1.2345" not in text
+
+    def test_mixed_types(self):
+        text = render_table(["a", "b"], [[42, "str"]])
+        assert "42" in text and "str" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_contains_all_keys(self):
+        text = render_series("ipc", {"gcc": 1.5, "mcf": 0.7})
+        assert "ipc:" in text
+        assert "gcc = 1.500" in text
+        assert "mcf = 0.700" in text
+
+
+class TestCsvLines:
+    def test_header_and_rows(self):
+        lines = csv_lines(["a", "b"], [[1, 2], [3, 4]])
+        assert lines == ["a,b", "1,2", "3,4"]

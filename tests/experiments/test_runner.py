@@ -1,0 +1,102 @@
+"""Tests for the prediction-only and timing runners."""
+
+import pytest
+
+from repro.experiments.runner import (
+    TraceCache,
+    default_cache,
+    run_prediction_only,
+    run_timing,
+)
+from repro.core.config import GOLDEN_COVE
+from repro.predictors.mascot import Mascot
+from repro.predictors.perfect import PerfectMDP
+from repro.predictors.phast import Phast
+
+from tests.conftest import small_trace
+
+
+class TestTraceCache:
+    def test_same_key_same_object(self):
+        cache = TraceCache()
+        t1 = cache.get("exchange2", 2000)
+        t2 = cache.get("exchange2", 2000)
+        assert t1 is t2
+
+    def test_different_key_different_trace(self):
+        cache = TraceCache()
+        t1 = cache.get("exchange2", 2000)
+        t2 = cache.get("exchange2", 2000, trace_seed=9)
+        assert t1 is not t2
+
+    def test_clear(self):
+        cache = TraceCache()
+        t1 = cache.get("exchange2", 2000)
+        cache.clear()
+        assert cache.get("exchange2", 2000) is not t1
+
+    def test_default_cache_is_shared(self):
+        assert default_cache() is default_cache()
+
+
+class TestPredictionOnly:
+    def test_counts_every_load(self):
+        trace = small_trace("perlbench1", 10_000)
+        result = run_prediction_only(trace, Mascot())
+        expected = sum(1 for u in trace if u.is_load)
+        assert result.accuracy.loads == expected
+        assert result.accuracy.instructions == len(trace)
+
+    def test_perfect_predictor_never_wrong(self):
+        trace = small_trace("perlbench1", 10_000)
+        result = run_prediction_only(trace, PerfectMDP())
+        assert result.accuracy.mispredictions == 0
+
+    def test_table_distribution_collected(self):
+        trace = small_trace("perlbench1", 10_000)
+        predictor = Mascot()
+        result = run_prediction_only(trace, predictor)
+        assert len(result.predictions_per_table) == 9  # 8 tables + base
+        assert sum(result.predictions_per_table) == result.accuracy.loads
+
+    def test_f1_recording(self):
+        trace = small_trace("perlbench1", 8_000)
+        predictor = Mascot(track_f1=True)
+        result = run_prediction_only(trace, predictor, f1_period=1000)
+        assert result.f1_profile is not None
+        assert result.f1_profile.periods >= 1
+
+    def test_f1_requires_mascot(self):
+        trace = small_trace("perlbench1", 2_000)
+        with pytest.raises(TypeError):
+            run_prediction_only(trace, Phast(), f1_period=1000)
+
+    def test_deterministic(self):
+        trace = small_trace("gcc1", 8_000)
+        r1 = run_prediction_only(trace, Mascot())
+        r2 = run_prediction_only(trace, Mascot())
+        assert r1.accuracy.outcome_counts == r2.accuracy.outcome_counts
+
+
+class TestTiming:
+    def test_produces_stats(self):
+        trace = small_trace("exchange2", 8_000)
+        stats = run_timing(trace, Mascot(), config=GOLDEN_COVE)
+        assert stats.instructions == len(trace)
+        assert stats.ipc > 0
+
+    def test_deterministic(self):
+        trace = small_trace("exchange2", 8_000)
+        s1 = run_timing(trace, Mascot())
+        s2 = run_timing(trace, Mascot())
+        assert s1.cycles == s2.cycles
+
+    def test_accuracy_consistent_with_prediction_mode(self):
+        """The two modes must agree on ground truth: a perfect predictor
+        shows zero mispredictions in both."""
+        trace = small_trace("perlbench1", 10_000)
+        timing = run_timing(trace, PerfectMDP())
+        prediction = run_prediction_only(trace, PerfectMDP())
+        assert timing.accuracy.mispredictions == 0
+        assert prediction.accuracy.mispredictions == 0
+        assert timing.accuracy.loads == prediction.accuracy.loads

@@ -1,0 +1,133 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        cache = Cache("t", 48 * 1024, 12, 64)
+        assert cache.num_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("t", 0, 4)
+        with pytest.raises(ValueError):
+            Cache("t", 1024, 0)
+        with pytest.raises(ValueError):
+            Cache("t", 1000, 4, 64)  # not divisible
+        with pytest.raises(ValueError):
+            Cache("t", 1024, 4, 63)  # non-power-of-two line
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("t", 1024, 4, 64)
+        assert not cache.lookup(0x1000)
+        assert cache.lookup(0x1000)
+
+    def test_same_line_different_bytes_hit(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.lookup(0x1000)
+        assert cache.lookup(0x103F)
+        assert not cache.lookup(0x1040)  # next line
+
+    def test_no_fill_on_request(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.lookup(0x1000, fill=False)
+        assert not cache.contains(0x1000)
+
+    def test_contains_does_not_count(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.contains(0x1000)
+        assert cache.stats.accesses == 0
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        # 1 set, 2 ways.
+        cache = Cache("t", 128, 2, 64)
+        cache.lookup(0x0000)   # line A
+        cache.lookup(0x1000)   # line B (same set; all map to set 0)
+        cache.lookup(0x0000)   # touch A -> B becomes LRU
+        cache.lookup(0x2000)   # line C evicts B
+        assert cache.contains(0x0000)
+        assert not cache.contains(0x1000)
+        assert cache.contains(0x2000)
+
+    def test_eviction_returns_victim(self):
+        cache = Cache("t", 128, 2, 64)
+        cache.fill(0x0000)
+        cache.fill(0x1000)
+        evicted = cache.fill(0x2000)
+        assert evicted == 0x0000
+
+    def test_refill_existing_returns_none(self):
+        cache = Cache("t", 128, 2, 64)
+        cache.fill(0x0000)
+        assert cache.fill(0x0000) is None
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = Cache("t", 4096, 4, 64)
+        lines = [0x1000 + 64 * i for i in range(32)]  # 2 KB working set
+        for addr in lines:
+            cache.lookup(addr)
+        for addr in lines:
+            assert cache.lookup(addr)
+
+    def test_streaming_misses(self):
+        cache = Cache("t", 1024, 4, 64)
+        for i in range(64):
+            cache.lookup(0x10000 + 64 * i)
+        # Pure streaming over 4 KB through a 1 KB cache: all misses.
+        assert cache.stats.misses == 64
+
+
+class TestStats:
+    def test_hit_and_miss_rates(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.lookup(0x1000)
+        cache.lookup(0x1000)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_empty_rates(self):
+        cache = Cache("t", 1024, 4, 64)
+        assert cache.stats.hit_rate == 0.0
+
+    def test_prefetch_fill_counted(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.fill(0x1000, is_prefetch=True)
+        assert cache.stats.prefetch_fills == 1
+
+    def test_reset(self):
+        cache = Cache("t", 1024, 4, 64)
+        cache.lookup(0x1000)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.contains(0x1000)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=500))
+@settings(max_examples=40, deadline=None)
+def test_property_occupancy_bounded(line_ids):
+    """The cache never holds more lines than its capacity per set."""
+    cache = Cache("t", 512, 2, 64)  # 4 sets x 2 ways
+    for lid in line_ids:
+        cache.lookup(lid * 64)
+    for set_index, ways in cache._sets.items():
+        assert len(ways) <= 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_property_most_recent_line_always_present(line_ids):
+    """A just-accessed line is always resident immediately afterwards."""
+    cache = Cache("t", 512, 2, 64)
+    for lid in line_ids:
+        cache.lookup(lid * 64)
+        assert cache.contains(lid * 64)

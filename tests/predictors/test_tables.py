@@ -1,0 +1,121 @@
+"""Tests for the shared tagged-table machinery."""
+
+import pytest
+
+from repro.predictors.tables import TableBank, TaggedTable
+from repro.common.history import GlobalHistory, PathHistory
+
+
+def make_table(history=8, entries=64, ways=4, tag_bits=12):
+    ghist = GlobalHistory(max_bits=256)
+    return TaggedTable(1, history, entries, ways, tag_bits, ghist), ghist
+
+
+class TestTaggedTable:
+    def test_geometry(self):
+        table, _ = make_table(entries=64, ways=4)
+        assert table.num_sets == 16
+        assert table.index_bits == 4
+
+    def test_single_set_table(self):
+        table, _ = make_table(entries=4, ways=4)
+        assert table.num_sets == 1
+        assert table.index_bits == 0
+        assert table.key(0x400100).index == 0
+
+    def test_non_power_of_two_sets_rejected(self):
+        ghist = GlobalHistory(max_bits=64)
+        with pytest.raises(ValueError):
+            TaggedTable(0, 4, 48, 4, 12, ghist)
+
+    def test_entries_divisible_by_ways(self):
+        ghist = GlobalHistory(max_bits=64)
+        with pytest.raises(ValueError):
+            TaggedTable(0, 4, 63, 4, 12, ghist)
+
+    def test_key_in_range(self):
+        table, ghist = make_table()
+        for i in range(50):
+            ghist.push_conditional(i % 3 == 0)
+            key = table.key(0x400000 + 4 * i)
+            assert 0 <= key.index < table.num_sets
+            assert 0 <= key.tag < (1 << table.tag_bits)
+
+    def test_key_depends_on_history(self):
+        table, ghist = make_table(history=8)
+        k1 = table.key(0x400100)
+        for _ in range(8):
+            ghist.push_conditional(True)
+        k2 = table.key(0x400100)
+        assert k1 != k2
+
+    def test_zero_history_table_ignores_history(self):
+        table, ghist = make_table(history=0)
+        k1 = table.key(0x400100)
+        for _ in range(16):
+            ghist.push_conditional(True)
+        assert table.key(0x400100) == k1
+
+    def test_write_and_entries(self):
+        table, _ = make_table()
+        table.write(3, 1, "entry")
+        assert list(table.entries()) == [(3, 1, "entry")]
+        assert table.occupancy() == 1
+        table.write(3, 1, None)
+        assert table.occupancy() == 0
+
+    def test_clear(self):
+        table, _ = make_table()
+        table.write(0, 0, "x")
+        table.clear()
+        assert table.occupancy() == 0
+
+
+class TestTableBank:
+    def test_construction(self):
+        bank = TableBank((0, 2, 4), (64, 64, 64), (12, 12, 12))
+        assert len(bank) == 3
+        assert bank[2].history_length == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TableBank((), (), ())
+        with pytest.raises(ValueError):
+            TableBank((0, 2), (64,), (12, 12))
+        with pytest.raises(ValueError):
+            TableBank((4, 2), (64, 64), (12, 12))  # decreasing history
+
+    def test_keys_for_all_tables(self):
+        bank = TableBank((0, 2, 4), (64, 64, 64), (12, 12, 12))
+        keys = bank.keys(0x400100)
+        assert len(keys) == 3
+
+    def test_branch_updates_affect_history_tables_only(self):
+        bank = TableBank((0, 4), (64, 64), (12, 12))
+        before = bank.keys(0x400100)
+        bank.on_branch(0x400200, True)
+        after = bank.keys(0x400100)
+        assert before[0] == after[0]      # zero-history table stable
+        assert before[1] != after[1]      # history table moved
+
+    def test_indirect_updates_history(self):
+        bank = TableBank((0, 8), (64, 64), (12, 12))
+        before = bank.keys(0x400100)
+        bank.on_indirect(0x400200, 0x500000)
+        assert bank.keys(0x400100)[1] != before[1]
+
+    def test_identical_history_tables_get_distinct_indices(self):
+        """Two tables with the same history length must not mirror each
+        other (the table number is mixed into the index)."""
+        bank = TableBank((4, 4), (64, 64), (12, 12))
+        bank.on_branch(0x400200, True)
+        k0, k1 = bank.keys(0x400100)
+        assert k0 != k1
+
+    def test_clear(self):
+        bank = TableBank((0, 2), (64, 64), (12, 12))
+        bank[0].write(0, 0, "x")
+        bank.on_branch(0x400200, True)
+        bank.clear()
+        assert bank[0].occupancy() == 0
+        assert bank.ghist.as_int(8) == 0

@@ -1,0 +1,113 @@
+"""Tests for the TAGE-MDP historical baseline (Sec. II-A)."""
+
+import pytest
+
+from repro.predictors.base import ActualOutcome, PredictionKind
+from repro.predictors.tage_mdp import TageMdp
+from repro.trace.uop import BypassClass, MicroOp, OpClass
+
+from tests.conftest import drive_predictor
+
+
+def load(seq=100, pc=0x400100):
+    return MicroOp(seq, pc, OpClass.LOAD, address=0x1000, size=8)
+
+
+def dep(distance=3):
+    return ActualOutcome(distance=distance, store_seq=1,
+                         bypass=BypassClass.DIRECT)
+
+
+def nodep():
+    return ActualOutcome(distance=0, store_seq=None, bypass=BypassClass.NONE)
+
+
+class TestBasics:
+    def test_cold_predicts_nodep(self):
+        assert TageMdp().predict(load()).kind is PredictionKind.NO_DEP
+
+    def test_never_smb(self):
+        assert not TageMdp().supports_smb
+
+    def test_learns_short_distance(self):
+        p = TageMdp()
+        uop = load()
+        p.train(uop, p.predict(uop), dep(3))
+        pred = p.predict(uop)
+        assert pred.kind is PredictionKind.MDP
+        assert pred.distance == 3
+
+    def test_storage_accounting(self):
+        # 8 tables x 512 entries x (16 tag + 3 distance + 1 u) = 10 KiB.
+        assert TageMdp().storage_kib == pytest.approx(10.0)
+
+
+class TestThreeBitDistanceLimit:
+    """The defining weakness vs PHAST/MASCOT: distances above 7 are
+    unrepresentable."""
+
+    def test_long_distance_never_learned(self):
+        p = TageMdp()
+        uop = load()
+        for _ in range(10):
+            pred = p.predict(uop)
+            p.train(uop, pred, dep(distance=20))
+        assert p.predict(uop).kind is PredictionKind.NO_DEP
+
+    def test_boundary_distance_seven(self):
+        p = TageMdp()
+        uop = load()
+        p.train(uop, p.predict(uop), dep(distance=7))
+        assert p.predict(uop).distance == 7
+
+
+class TestSingleUsefulnessBit:
+    def test_one_false_dep_silences(self):
+        """Sec. II-A: u=0 disables prediction — one strike is enough."""
+        p = TageMdp()
+        uop = load()
+        p.train(uop, p.predict(uop), dep(3))
+        assert p.predict(uop).kind is PredictionKind.MDP
+        pred = p.predict(uop)
+        p.train(uop, pred, ActualOutcome(5, 2, BypassClass.DIRECT))
+        # Entry silenced (and a new one allocated for distance 5).
+        entries = [
+            e for t in p.bank.tables for _, _, e in t.entries()
+            if e.distance == 3
+        ]
+        assert all(not e.useful for e in entries)
+
+    def test_correct_prediction_revives(self):
+        p = TageMdp()
+        uop = load()
+        p.train(uop, p.predict(uop), dep(3))
+        # Silence via wrong distance, then the distance-5 entry takes over
+        # and builds usefulness on its own.
+        p.train(uop, p.predict(uop), dep(5))
+        pred = p.predict(uop)
+        assert pred.distance == 5
+
+
+class TestEndToEnd:
+    def test_runs_on_trace(self, perlbench_trace):
+        p = TageMdp()
+        assert drive_predictor(p, perlbench_trace) > 1000
+
+    def test_worse_than_mascot_mdp(self):
+        """The 3-bit distance and single u bit must cost accuracy relative
+        to MASCOT (7-bit distance, dual counters, ND entries)."""
+        from repro.analysis.accuracy import AccuracyStats, classify
+        from repro.predictors.configs import MASCOT_DEFAULT
+        from repro.predictors.mascot import Mascot
+        from tests.conftest import small_trace
+
+        trace = small_trace("perlbench1", 30_000)
+
+        def mispredictions(p):
+            stats = AccuracyStats()
+            for _, pred, actual in drive_predictor(p, trace, collect=True):
+                stats.record(classify(pred, actual))
+            return stats.mispredictions
+
+        mascot = Mascot(MASCOT_DEFAULT.with_(name="m", smb_enabled=False))
+        assert mispredictions(TageMdp()) > mispredictions(mascot)

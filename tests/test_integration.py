@@ -1,0 +1,192 @@
+"""Cross-module integration tests.
+
+These exercise whole paths through the system — generator → predictor →
+pipeline → statistics — and check the qualitative relations the paper's
+evaluation rests on, at reduced scale.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    GOLDEN_COVE,
+    LION_COVE,
+    Mascot,
+    PerfectMDP,
+    PerfectMDPSMB,
+    Phast,
+    Pipeline,
+    StoreSets,
+    NoSQ,
+    generate_trace,
+)
+from repro.predictors.configs import MASCOT_DEFAULT
+
+from tests.conftest import small_trace
+
+
+class TestPaperHeadlines:
+    """The paper's core qualitative claims at small scale."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        trace = small_trace("perlbench1", 40_000)
+        out = {}
+        for predictor in (PerfectMDP(), PerfectMDPSMB(), Mascot(),
+                          Phast(), NoSQ(), StoreSets()):
+            out[predictor.name] = Pipeline(predictor).run(trace)
+        return out
+
+    def test_mascot_beats_phast(self, results):
+        assert results["mascot"].ipc > results["phast"].ipc
+
+    def test_mascot_beats_nosq(self, results):
+        assert results["mascot"].ipc > results["nosq"].ipc
+
+    def test_mascot_beats_perfect_mdp(self, results):
+        """SMB lets MASCOT beat the no-bypass oracle (Fig. 7)."""
+        assert results["mascot"].ipc > results["perfect-mdp"].ipc
+
+    def test_perfect_smb_is_the_ceiling(self, results):
+        assert results["perfect-mdp-smb"].ipc >= results["mascot"].ipc
+
+    def test_oracles_never_squash(self, results):
+        assert results["perfect-mdp"].memory_squashes == 0
+        assert results["perfect-mdp-smb"].memory_squashes == 0
+
+    def test_mascot_bypasses_substantially(self, results):
+        assert (results["mascot"].loads_bypassed
+                > 0.5 * results["perfect-mdp-smb"].loads_bypassed)
+
+    def test_fewest_mispredictions(self, results):
+        mascot = results["mascot"].accuracy.mispredictions
+        assert mascot < results["phast"].accuracy.mispredictions
+        assert mascot < results["nosq"].accuracy.mispredictions
+
+
+class TestTwoModesAgree:
+    def test_dependence_ground_truth_identical(self):
+        """Timing and prediction-only modes classify the same loads the
+        same way for an oracle (which never mispredicts)."""
+        from repro.experiments.runner import run_prediction_only, run_timing
+
+        trace = small_trace("gcc1", 15_000)
+        timing = run_timing(trace, PerfectMDP())
+        replay = run_prediction_only(trace, PerfectMDP())
+        assert (timing.accuracy.prediction_counts
+                == replay.accuracy.prediction_counts)
+
+
+class TestCrossCoreScaling:
+    def test_lion_cove_never_slower(self):
+        for bench in ("xz", "lbm"):
+            trace = small_trace(bench, 15_000)
+            golden = Pipeline(Mascot(), config=GOLDEN_COVE).run(trace)
+            lion = Pipeline(Mascot(), config=LION_COVE).run(trace)
+            assert lion.ipc >= golden.ipc * 0.99
+
+
+class TestDeterminism:
+    def test_full_stack_deterministic(self):
+        trace1 = generate_trace("mcf", 10_000)
+        trace2 = generate_trace("mcf", 10_000)
+        s1 = Pipeline(Mascot()).run(trace1)
+        s2 = Pipeline(Mascot()).run(trace2)
+        assert s1.cycles == s2.cycles
+        assert s1.accuracy.outcome_counts == s2.accuracy.outcome_counts
+
+    @given(st.sampled_from(["exchange2", "bwaves", "deepsjeng"]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_any_seed_produces_valid_runs(self, benchmark, seed):
+        trace = generate_trace(benchmark, 4_000, program_seed=seed,
+                               trace_seed=seed + 1)
+        stats = Pipeline(Mascot()).run(trace)
+        assert stats.instructions == 4_000
+        assert stats.cycles > 0
+        assert 0 < stats.ipc < GOLDEN_COVE.commit_width
+
+
+class TestPipelineInvariants:
+    """Structural invariants of the timing model on real traces."""
+
+    def test_commit_monotonic_and_issue_after_dispatch(self):
+        trace = small_trace("perlbench1", 10_000)
+        pipeline = Pipeline(Mascot())
+        pipeline.run(trace)
+        commits = pipeline._commit_times
+        issues = pipeline._issue_times
+        assert all(a <= b for a, b in zip(commits, commits[1:]))
+        assert all(c > i for i, c in zip(issues, commits))
+
+    def test_commit_width_respected(self):
+        trace = small_trace("x264", 10_000)
+        pipeline = Pipeline(PerfectMDP())
+        pipeline.run(trace)
+        from collections import Counter
+        per_cycle = Counter(pipeline._commit_times)
+        assert max(per_cycle.values()) <= GOLDEN_COVE.commit_width
+
+    def test_value_ready_not_before_issue(self):
+        trace = small_trace("gcc1", 10_000)
+        pipeline = Pipeline(Mascot())
+        pipeline.run(trace)
+        for uop in trace:
+            if uop.op.is_memory or uop.op.is_branch:
+                continue
+            assert (pipeline._value_ready[uop.seq]
+                    > pipeline._issue_times[uop.seq])
+
+    def test_consumers_never_start_before_producers_finish(self):
+        """Arithmetic consumers issue only once every source value is
+        ready (stores are excluded: their AGU legitimately runs ahead of
+        the data operand)."""
+        from repro.trace.uop import OpClass
+
+        trace = small_trace("perlbench2", 10_000)
+        pipeline = Pipeline(PerfectMDPSMB())
+        pipeline.run(trace)
+        for uop in trace:
+            if uop.op not in (OpClass.ALU, OpClass.MUL, OpClass.DIV,
+                              OpClass.FP):
+                continue
+            for src in uop.srcs:
+                assert (pipeline._issue_times[uop.seq]
+                        >= pipeline._value_ready[src]), uop.seq
+
+
+class TestSmbDisableEquivalence:
+    def test_mdp_only_mascot_never_bypasses(self):
+        trace = small_trace("lbm", 10_000)
+        stats = Pipeline(
+            Mascot(MASCOT_DEFAULT.with_(name="mdp", smb_enabled=False))
+        ).run(trace)
+        assert stats.loads_bypassed == 0
+
+
+class TestOffsetBypassExtension:
+    def test_offset_extension_pays_on_offset_heavy_workload(self):
+        """The Sec. IV-E 'shifting field' extension must be verified
+        against its own datapath (a regression here once made every offset
+        bypass squash)."""
+        import dataclasses
+
+        from repro.trace import BypassClass, build_program, get_profile
+        from repro.trace.generator import TraceGenerator
+        from repro.predictors.configs import MASCOT_DEFAULT
+
+        mix = {BypassClass.DIRECT: 0.4, BypassClass.NO_OFFSET: 0.1,
+               BypassClass.OFFSET: 0.4, BypassClass.MDP_ONLY: 0.1}
+        profile = dataclasses.replace(get_profile("perlbench2"),
+                                      name="offsety", bypass_mix=mix)
+        trace = TraceGenerator(build_program(profile, seed=0),
+                               seed=1).generate(25_000)
+        plain = Pipeline(Mascot()).run(trace)
+        extended = Pipeline(
+            Mascot(MASCOT_DEFAULT.with_(name="ext", offset_bypass=True))
+        ).run(trace)
+        assert extended.ipc > plain.ipc
+        assert extended.loads_bypassed > plain.loads_bypassed
+        # And the extension's bypasses are verified, not squashed.
+        assert (extended.memory_squashes
+                < plain.memory_squashes + extended.loads_bypassed // 10)

@@ -1,0 +1,99 @@
+"""Reproduction regression tests.
+
+These assert the paper's headline *relations* on a reduced grid (four
+contrasting benchmarks, short traces) so any refactoring that silently
+breaks a result the repository exists to demonstrate fails CI.  Full-scale
+numbers live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig8_mispredictions,
+    run_ipc_suite,
+)
+
+BENCHES = ["perlbench1", "gcc4", "lbm", "exchange2"]
+N = 25_000
+
+
+@pytest.fixture(scope="module")
+def ipc_suite():
+    return run_ipc_suite(
+        ["nosq", "phast", "mascot", "mascot-mdp", "store-sets",
+         "perfect-mdp-smb", "tage-no-nd"],
+        BENCHES, N,
+    )
+
+
+class TestFig7Relations:
+    def test_mascot_beats_phast(self, ipc_suite):
+        assert ipc_suite.geomean_speedup_over("mascot", "phast") > 0.5
+
+    def test_mascot_beats_nosq(self, ipc_suite):
+        assert ipc_suite.geomean_speedup_over("mascot", "nosq") > 1.0
+
+    def test_mascot_beats_perfect_mdp(self, ipc_suite):
+        assert ipc_suite.geomean("mascot") > 1.0
+
+    def test_nosq_below_perfect_mdp(self, ipc_suite):
+        assert ipc_suite.geomean("nosq") < 1.0
+
+    def test_ceiling_above_mascot(self, ipc_suite):
+        assert (ipc_suite.geomean("perfect-mdp-smb")
+                >= ipc_suite.geomean("mascot"))
+
+
+class TestFig9Relations:
+    def test_mdp_only_mascot_beats_store_sets(self, ipc_suite):
+        assert ipc_suite.geomean_speedup_over(
+            "mascot-mdp", "store-sets") > 0.5
+
+    def test_mdp_only_mascot_at_least_phast(self, ipc_suite):
+        assert ipc_suite.geomean_speedup_over("mascot-mdp", "phast") > -0.1
+
+    def test_phast_within_a_few_percent_of_perfect(self, ipc_suite):
+        """Paper: PHAST generally falls within 93-99% of perfect MDP."""
+        assert 0.93 < ipc_suite.geomean("phast") <= 1.01
+
+
+class TestFig11Relations:
+    def test_ablation_below_mascot(self, ipc_suite):
+        assert (ipc_suite.geomean("tage-no-nd")
+                < ipc_suite.geomean("mascot"))
+
+
+class TestFig8Relations:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return fig8_mispredictions(BENCHES, N)
+
+    def test_mascot_fewest_total(self, fig8):
+        assert fig8.totals["mascot"] < fig8.totals["phast"]
+        assert fig8.totals["mascot"] < fig8.totals["nosq"]
+
+    def test_false_dependencies_collapse(self, fig8):
+        """Paper: -91% false dependencies vs PHAST; we require >70% at
+        reduced scale."""
+        assert (fig8.false_dependencies["mascot"]
+                < 0.3 * fig8.false_dependencies["phast"])
+
+    def test_speculative_errors_reduced(self, fig8):
+        assert (fig8.speculative_errors["mascot"]
+                < fig8.speculative_errors["phast"])
+
+    def test_nosq_dominated_by_false_dependencies(self, fig8):
+        assert (fig8.false_dependencies["nosq"]
+                > fig8.speculative_errors["nosq"])
+
+
+class TestPerBenchmarkCharacter:
+    def test_perlbench_gains_most(self, ipc_suite):
+        """Fig. 7: the dependence-rich interpreter benchmark shows the
+        largest MASCOT gain; exchange2 barely moves."""
+        normalised = ipc_suite.normalised("mascot")
+        assert normalised["perlbench1"] > normalised["exchange2"]
+
+    def test_exchange2_insensitive(self, ipc_suite):
+        normalised = ipc_suite.normalised("mascot")
+        assert abs(normalised["exchange2"] - 1.0) < 0.02

@@ -1,0 +1,82 @@
+"""Tests for workload profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.trace.profiles import SPEC_SUITE, WorkloadProfile, get_profile, suite_names
+from repro.trace.uop import BypassClass
+
+
+class TestSuite:
+    def test_suite_nonempty_and_unique(self):
+        names = suite_names()
+        assert len(names) >= 20
+        assert len(set(names)) == len(names)
+
+    def test_get_profile_roundtrip(self):
+        for name in suite_names():
+            assert get_profile(name).name == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("spec2038")
+
+    def test_all_profiles_validate(self):
+        for profile in SPEC_SUITE:
+            total = sum(profile.bypass_mix.values())
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_paper_calibration_anchors(self):
+        """Fig. 2 anchors: perlbench/lbm dependence-rich, bwaves/wrf sparse."""
+        assert get_profile("perlbench2").dep_fraction >= 0.4
+        assert get_profile("lbm").dep_fraction >= 0.35
+        assert get_profile("bwaves").dep_fraction <= 0.08
+        assert get_profile("wrf").dep_fraction <= 0.08
+        assert get_profile("exchange2").dep_fraction <= 0.10
+
+    def test_perlbench_is_load_value_sensitive(self):
+        """Sec. VI-A: perlbench is especially sensitive to early values."""
+        assert (get_profile("perlbench2").load_consumer_fraction
+                > get_profile("lbm").load_consumer_fraction)
+
+    def test_mcf_has_noisy_context(self):
+        assert (get_profile("mcf").branch_pattern_fraction
+                < get_profile("x264").branch_pattern_fraction)
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        fields = dict(name="test")
+        fields.update(overrides)
+        return WorkloadProfile(**fields)
+
+    def test_valid_default(self):
+        profile = self._base()
+        assert profile.name == "test"
+
+    def test_bypass_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            self._base(bypass_mix={BypassClass.DIRECT: 0.5})
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            self._base(frac_load=1.5)
+        with pytest.raises(ValueError):
+            self._base(dep_fraction=-0.1)
+
+    def test_mix_exceeding_one_rejected(self):
+        with pytest.raises(ValueError):
+            self._base(frac_load=0.5, frac_store=0.3, frac_branch=0.2,
+                       frac_fp=0.2)
+
+    def test_positive_structure(self):
+        with pytest.raises(ValueError):
+            self._base(footprint=0)
+        with pytest.raises(ValueError):
+            self._base(num_segments=0)
+
+    def test_frozen(self):
+        profile = self._base()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.frac_load = 0.5

@@ -1,0 +1,229 @@
+"""Tests for the static program builder."""
+
+import random
+
+import pytest
+
+from repro.trace.profiles import get_profile
+from repro.trace.program import (
+    PAIR_GEOMETRY,
+    SLOT_STRIDE,
+    BranchBehavior,
+    IndirectBehavior,
+    PairInfo,
+    StaticKind,
+    build_program,
+)
+from repro.trace.uop import BypassClass, OpClass
+
+
+class TestBranchBehavior:
+    def test_iid_respects_bias_statistically(self):
+        rng = random.Random(0)
+        b = BranchBehavior(0.7)
+        rate = sum(b.outcome(i, rng) for i in range(5000)) / 5000
+        assert 0.65 < rate < 0.75
+
+    def test_pattern_deterministic_without_noise(self):
+        b = BranchBehavior(0.5, pattern=[True, False, True], noise=0.0)
+        rng = random.Random(0)
+        assert [b.outcome(i, rng) for i in range(6)] == [
+            True, False, True, True, False, True
+        ]
+
+    def test_pattern_noise_flips_occasionally(self):
+        b = BranchBehavior(0.5, pattern=[True] * 4, noise=0.5)
+        rng = random.Random(0)
+        outcomes = [b.outcome(i, rng) for i in range(200)]
+        assert any(not o for o in outcomes)
+
+    def test_random_pattern_period_is_power_of_two(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            b = BranchBehavior.random_pattern(0.7, rng)
+            period = len(b.pattern)
+            assert period & (period - 1) == 0
+
+    def test_random_pattern_never_all_not_taken(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            b = BranchBehavior.random_pattern(0.05, rng)
+            assert any(b.pattern)
+
+    def test_bias_validation(self):
+        with pytest.raises(ValueError):
+            BranchBehavior(1.5)
+        with pytest.raises(ValueError):
+            BranchBehavior(0.5, noise=-0.1)
+
+
+class TestIndirectBehavior:
+    def test_pattern_targets(self):
+        b = IndirectBehavior([0x10, 0x20], [0, 1, 1])
+        rng = random.Random(0)
+        assert b.target(0, rng) == 0x10
+        assert b.target(1, rng) == 0x20
+        assert b.target(3, rng) == 0x10
+
+    def test_needs_targets(self):
+        with pytest.raises(ValueError):
+            IndirectBehavior([], [])
+
+    def test_pattern_index_validation(self):
+        with pytest.raises(ValueError):
+            IndirectBehavior([0x10], [1])
+
+    def test_random_construction(self):
+        rng = random.Random(0)
+        b = IndirectBehavior.random(0x400000, rng)
+        assert len(b.targets) >= 2
+        assert all(t > 0x400000 for t in b.targets)
+
+
+class TestPairInfo:
+    def test_rotation_addresses(self):
+        pair = PairInfo(0, 0x1000, rotation=4, store_size=8, load_size=8,
+                        load_offset=0, bypass_class=BypassClass.DIRECT)
+        addrs = {pair.store_address(i) for i in range(8)}
+        assert len(addrs) == 4
+        assert pair.store_address(0) == pair.store_address(4)
+
+    def test_load_offset_applied(self):
+        pair = PairInfo(0, 0x1000, rotation=1, store_size=8, load_size=4,
+                        load_offset=4, bypass_class=BypassClass.OFFSET)
+        assert pair.load_address(0) == pair.store_address(0) + 4
+
+    def test_geometry_must_fit_slot(self):
+        with pytest.raises(ValueError):
+            PairInfo(0, 0x1000, rotation=1, store_size=SLOT_STRIDE + 1,
+                     load_size=4, load_offset=0,
+                     bypass_class=BypassClass.NO_OFFSET)
+
+    def test_geometry_table_matches_classes(self):
+        """PAIR_GEOMETRY must produce the class it claims (Fig. 1)."""
+        from repro.trace.dependence import classify_overlap
+        for cls, (ss, ls, off) in PAIR_GEOMETRY.items():
+            assert classify_overlap(0x100, ss, 0x100 + off, ls) is cls
+
+
+class TestBuildProgram:
+    def test_deterministic(self):
+        profile = get_profile("gcc1")
+        p1 = build_program(profile, seed=42)
+        p2 = build_program(profile, seed=42)
+        assert [i.pc for i in p1.static_instructions] == [
+            i.pc for i in p2.static_instructions
+        ]
+        assert len(p1.pairs) == len(p2.pairs)
+
+    def test_different_seeds_differ(self):
+        profile = get_profile("gcc1")
+        p1 = build_program(profile, seed=1)
+        p2 = build_program(profile, seed=2)
+        assert (
+            [i.kind for i in p1.static_instructions]
+            != [i.kind for i in p2.static_instructions]
+        )
+
+    def test_unique_pcs(self):
+        program = build_program(get_profile("perlbench1"), seed=0)
+        pcs = [i.pc for i in program.static_instructions]
+        assert len(pcs) == len(set(pcs))
+
+    def test_pairs_have_disjoint_slots(self):
+        program = build_program(get_profile("perlbench1"), seed=0)
+        ranges = []
+        for pair in program.pairs:
+            lo = pair.base_address
+            hi = lo + pair.rotation * SLOT_STRIDE
+            ranges.append((lo, hi))
+        ranges.sort()
+        for (lo1, hi1), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi1 <= lo2
+
+    def test_every_pair_has_store_and_load(self):
+        program = build_program(get_profile("perlbench1"), seed=0)
+        stores = {id(p) for s in program.segments for i in s.body
+                  if i.kind is StaticKind.STORE_PAIR
+                  for p in [i.pair]}
+        loads = {id(p) for s in program.segments for i in s.body
+                 if i.kind is StaticKind.LOAD_PAIR
+                 for p in [i.pair]}
+        assert stores == loads
+        assert len(stores) == len(program.pairs)
+
+    def test_pair_stores_precede_load(self):
+        """Every pair's writer(s) come before its load in program order;
+        multi-writer pairs have two writers, all others exactly one."""
+        program = build_program(get_profile("perlbench1"), seed=0)
+        order = {}
+        position = 0
+        for segment in program.segments:
+            for inst in segment.body:
+                if inst.pair is not None:
+                    order.setdefault(inst.pair.pair_id, []).append(
+                        (position, inst.kind)
+                    )
+                position += 1
+        for pair_id, events in order.items():
+            kinds = [k for _, k in sorted(events)]
+            assert kinds[-1] is StaticKind.LOAD_PAIR, f"pair {pair_id}"
+            assert 1 <= len(kinds) - 1 <= 2, f"pair {pair_id}"
+            assert all(k is StaticKind.STORE_PAIR for k in kinds[:-1])
+
+    def test_conditional_pairs_have_guarded_store(self):
+        program = build_program(get_profile("perlbench1"), seed=0)
+        seg_of_store = {}
+        seg_of_load = {}
+        for segment in program.segments:
+            for inst in segment.body:
+                if inst.kind is StaticKind.STORE_PAIR:
+                    seg_of_store[inst.pair.pair_id] = segment
+                elif inst.kind is StaticKind.LOAD_PAIR:
+                    seg_of_load[inst.pair.pair_id] = segment
+        checked = 0
+        for pair in program.pairs:
+            if pair.conditional:
+                assert seg_of_store[pair.pair_id].is_guarded
+                assert not seg_of_load[pair.pair_id].is_guarded
+                checked += 1
+        assert checked > 0, "profile should produce conditional pairs"
+
+    def test_segment_zero_unguarded(self):
+        for seed in range(3):
+            program = build_program(get_profile("mcf"), seed=seed)
+            assert not program.segments[0].is_guarded
+
+    def test_segment_indices_contiguous(self):
+        program = build_program(get_profile("perlbench1"), seed=0)
+        assert [s.index for s in program.segments] == list(
+            range(len(program.segments))
+        )
+
+    def test_branches_have_behaviour(self):
+        program = build_program(get_profile("gcc1"), seed=0)
+        for inst in program.static_instructions:
+            if inst.kind is StaticKind.BRANCH:
+                assert inst.branch is not None
+            if inst.kind is StaticKind.BRANCH_INDIRECT:
+                assert inst.indirect is not None
+
+    def test_loop_branch_always_taken(self):
+        program = build_program(get_profile("gcc1"), seed=0)
+        rng = random.Random(0)
+        assert all(
+            program.loop_branch.branch.outcome(i, rng) for i in range(100)
+        )
+
+    def test_op_class_mapping(self):
+        program = build_program(get_profile("gcc1"), seed=0)
+        for inst in program.static_instructions:
+            if inst.kind in (StaticKind.LOAD_PAIR, StaticKind.LOAD_STREAM):
+                assert inst.op_class is OpClass.LOAD
+            elif inst.kind in (StaticKind.STORE_PAIR, StaticKind.STORE_FILLER):
+                assert inst.op_class is OpClass.STORE
+
+    def test_low_dep_profile_has_few_pairs(self):
+        rich = build_program(get_profile("perlbench2"), seed=0)
+        sparse = build_program(get_profile("bwaves"), seed=0)
+        assert len(sparse.pairs) < len(rich.pairs)

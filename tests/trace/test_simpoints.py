@@ -1,0 +1,188 @@
+"""Tests for SimPoint-style interval selection."""
+
+import pytest
+
+from repro.trace.simpoints import (
+    Interval,
+    estimate_weighted,
+    basic_block_vectors,
+    rebase_interval,
+    select_simpoints,
+    split_intervals,
+)
+from repro.trace.uop import BypassClass, MicroOp, OpClass
+
+from tests.conftest import small_trace
+
+
+def phase_trace(n_per_phase=2000, phases=(0x400000, 0x500000), repeats=2):
+    """A synthetic trace alternating between distinct code regions."""
+    trace = []
+    seq = 0
+    for _ in range(repeats):
+        for base in phases:
+            for i in range(n_per_phase):
+                trace.append(MicroOp(seq, base + 4 * (i % 50), OpClass.ALU))
+                seq += 1
+    return trace
+
+
+class TestSplitIntervals:
+    def test_exact_split(self):
+        trace = phase_trace(1000, repeats=1)
+        intervals = split_intervals(trace, 500)
+        assert len(intervals) == 4
+        assert intervals[0].start == 0
+        assert intervals[-1].end == 2000
+
+    def test_tail_dropped(self):
+        trace = phase_trace(1000, repeats=1)  # 2000 uops
+        intervals = split_intervals(trace, 1500)
+        assert len(intervals) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            split_intervals([], 0)
+
+
+class TestBasicBlockVectors:
+    def test_rows_normalised(self):
+        trace = phase_trace(500, repeats=1)
+        intervals = split_intervals(trace, 250)
+        vectors = basic_block_vectors(trace, intervals)
+        assert vectors.shape[0] == len(intervals)
+        for row in vectors:
+            assert abs(row.sum() - 1.0) < 1e-9
+
+    def test_phases_have_distinct_fingerprints(self):
+        trace = phase_trace(1000, repeats=1)
+        intervals = split_intervals(trace, 1000)
+        vectors = basic_block_vectors(trace, intervals)
+        # Phase A interval and phase B interval share no PCs.
+        assert float((vectors[0] * vectors[1]).sum()) == 0.0
+
+    def test_no_intervals_raises(self):
+        with pytest.raises(ValueError):
+            basic_block_vectors([], [])
+
+
+class TestSelectSimpoints:
+    def test_weights_sum_to_one(self):
+        trace = phase_trace(1000, repeats=2)
+        simpoints = select_simpoints(trace, 1000, max_k=3)
+        assert sum(s.weight for s in simpoints) == pytest.approx(1.0)
+
+    def test_identifies_two_phases(self):
+        trace = phase_trace(1000, repeats=3)
+        simpoints = select_simpoints(trace, 1000, max_k=2)
+        assert len(simpoints) == 2
+        # Each representative comes from a different phase region.
+        pcs = set()
+        for s in simpoints:
+            pcs.add(trace[s.interval.start].pc & 0xF00000)
+        assert len(pcs) == 2
+
+    def test_k_capped_by_interval_count(self):
+        trace = phase_trace(500, repeats=1)  # 2 intervals of 500
+        simpoints = select_simpoints(trace, 1000, max_k=8)
+        assert len(simpoints) <= 1
+
+    def test_too_short_trace_raises(self):
+        with pytest.raises(ValueError):
+            select_simpoints(phase_trace(10, repeats=1), 10_000)
+
+    def test_deterministic(self):
+        trace = small_trace("gcc1", 12_000)
+        s1 = select_simpoints(trace, 2000, max_k=3, seed=7)
+        s2 = select_simpoints(trace, 2000, max_k=3, seed=7)
+        assert [s.interval.index for s in s1] == [
+            s.interval.index for s in s2
+        ]
+
+
+class TestRebaseInterval:
+    def test_renumbers_from_zero(self):
+        trace = small_trace("perlbench1", 8_000)
+        piece = rebase_interval(trace, Interval(0, 2000, 4000))
+        assert [u.seq for u in piece] == list(range(2000))
+
+    def test_dataflow_stays_internal(self):
+        trace = small_trace("perlbench1", 8_000)
+        piece = rebase_interval(trace, Interval(0, 2000, 4000))
+        for uop in piece:
+            for src in uop.srcs:
+                assert 0 <= src < uop.seq
+            if uop.addr_src is not None:
+                assert 0 <= uop.addr_src < uop.seq
+
+    def test_out_of_slice_dependences_dropped(self):
+        trace = small_trace("perlbench1", 8_000)
+        piece = rebase_interval(trace, Interval(0, 2000, 4000))
+        for uop in piece:
+            if uop.is_load and uop.has_dependence:
+                assert 0 <= uop.dep_store_seq < uop.seq
+            if uop.is_load and not uop.has_dependence:
+                assert uop.bypass is BypassClass.NONE
+
+    def test_rebase_runs_through_pipeline(self):
+        from repro.core import Pipeline
+        from repro.predictors import Mascot
+
+        trace = small_trace("perlbench1", 8_000)
+        piece = rebase_interval(trace, Interval(0, 3000, 6000))
+        stats = Pipeline(Mascot()).run(piece)
+        assert stats.instructions == 3000
+
+
+class TestEstimateWeighted:
+    def test_constant_metric(self):
+        trace = phase_trace(500, repeats=2)
+        simpoints = select_simpoints(trace, 500, max_k=2)
+        assert estimate_weighted(
+            trace, simpoints, lambda t, m: 42.0
+        ) == pytest.approx(42.0)
+
+    def test_ipc_estimate_close_to_full_run(self):
+        """The SimPoint estimate approximates the full-trace IPC."""
+        from repro.core import Pipeline
+        from repro.predictors import PerfectMDP
+
+        trace = small_trace("xz", 24_000)
+        full = Pipeline(PerfectMDP()).run(trace).ipc
+        simpoints = select_simpoints(trace, 4000, max_k=3)
+
+        def ipc(piece, measure_from):
+            return Pipeline(PerfectMDP()).run(
+                piece, measure_from=measure_from
+            ).ipc
+
+        estimate = estimate_weighted(trace, simpoints, ipc)
+        assert estimate == pytest.approx(full, rel=0.2)
+
+    def test_empty_simpoints_raise(self):
+        with pytest.raises(ValueError):
+            estimate_weighted([], [], lambda t, m: 0.0)
+
+    def test_negative_warmup_rejected(self):
+        trace = phase_trace(500, repeats=2)
+        simpoints = select_simpoints(trace, 500, max_k=2)
+        with pytest.raises(ValueError):
+            estimate_weighted(trace, simpoints, lambda t, m: 0.0,
+                              warmup_intervals=-1)
+
+    def test_warmup_improves_ipc_estimate(self):
+        from repro.core import Pipeline
+        from repro.predictors import PerfectMDP
+
+        trace = small_trace("xz", 24_000)
+        full = Pipeline(PerfectMDP()).run(trace).ipc
+        simpoints = select_simpoints(trace, 4000, max_k=3)
+
+        def ipc(piece, measure_from):
+            return Pipeline(PerfectMDP()).run(
+                piece, measure_from=measure_from
+            ).ipc
+
+        cold = estimate_weighted(trace, simpoints, ipc, warmup_intervals=0)
+        warm = estimate_weighted(trace, simpoints, ipc, warmup_intervals=1)
+        assert abs(warm - full) <= abs(cold - full)

@@ -1,0 +1,81 @@
+"""Tests for the micro-op model."""
+
+import pytest
+
+from repro.trace.uop import MAX_STORE_DISTANCE, BypassClass, MicroOp, OpClass
+
+
+class TestOpClass:
+    def test_branch_flags(self):
+        assert OpClass.BRANCH_COND.is_branch
+        assert OpClass.BRANCH_INDIRECT.is_branch
+        assert not OpClass.ALU.is_branch
+
+    def test_memory_flags(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.FP.is_memory
+
+
+class TestBypassClass:
+    def test_dependence_flags(self):
+        assert BypassClass.DIRECT.is_dependence
+        assert BypassClass.MDP_ONLY.is_dependence
+        assert not BypassClass.NONE.is_dependence
+
+    def test_bypassable_flags(self):
+        assert BypassClass.DIRECT.is_bypassable
+        assert BypassClass.NO_OFFSET.is_bypassable
+        assert BypassClass.OFFSET.is_bypassable
+        assert not BypassClass.MDP_ONLY.is_bypassable
+        assert not BypassClass.NONE.is_bypassable
+
+
+class TestMicroOpValidation:
+    def test_plain_alu(self):
+        uop = MicroOp(0, 0x400000, OpClass.ALU, srcs=(0,))
+        assert not uop.is_load and not uop.is_store and not uop.is_branch
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            MicroOp(-1, 0x400000, OpClass.ALU)
+
+    def test_memory_needs_size(self):
+        with pytest.raises(ValueError):
+            MicroOp(0, 0x400000, OpClass.LOAD, address=0x1000, size=0)
+
+    def test_load_dependence_consistency(self):
+        # distance > 0 but bypass NONE is inconsistent.
+        with pytest.raises(ValueError):
+            MicroOp(0, 0x400000, OpClass.LOAD, address=0x1000, size=8,
+                    store_distance=3, bypass=BypassClass.NONE)
+        # bypass set but distance 0 is inconsistent.
+        with pytest.raises(ValueError):
+            MicroOp(0, 0x400000, OpClass.LOAD, address=0x1000, size=8,
+                    store_distance=0, bypass=BypassClass.DIRECT)
+
+    def test_dependence_needs_store_seq(self):
+        with pytest.raises(ValueError):
+            MicroOp(5, 0x400000, OpClass.LOAD, address=0x1000, size=8,
+                    store_distance=1, bypass=BypassClass.DIRECT)
+
+    def test_valid_dependent_load(self):
+        uop = MicroOp(5, 0x400000, OpClass.LOAD, address=0x1000, size=8,
+                      store_distance=1, dep_store_seq=3,
+                      bypass=BypassClass.DIRECT)
+        assert uop.has_dependence
+        assert uop.is_load
+
+    def test_independent_load(self):
+        uop = MicroOp(5, 0x400000, OpClass.LOAD, address=0x1000, size=8)
+        assert not uop.has_dependence
+
+    def test_store_is_not_dependent(self):
+        uop = MicroOp(0, 0x400000, OpClass.STORE, address=0x1000, size=8)
+        assert uop.is_store
+        assert not uop.has_dependence
+
+
+def test_max_store_distance_matches_field_width():
+    """The 7-bit distance field (Fig. 6) caps at 127."""
+    assert MAX_STORE_DISTANCE == (1 << 7) - 1
