@@ -6,12 +6,12 @@ Paper: MASCOT beats NoSQ by 4.9%, PHAST by 1.9% and perfect MDP by 1.0%
 
 from repro.experiments import fig7_ipc_full
 
-from conftest import bench_suite, bench_uops, run_once
+from conftest import bench_suite, bench_uops, run_once, suite_kwargs
 
 
 def test_fig7_ipc_full(benchmark):
     result = run_once(
-        benchmark, lambda: fig7_ipc_full(bench_suite(), bench_uops())
+        benchmark, lambda: fig7_ipc_full(bench_suite(), bench_uops(), **suite_kwargs())
     )
     print()
     print(result.render())

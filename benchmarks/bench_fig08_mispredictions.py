@@ -6,12 +6,13 @@ false dependencies drop 91% and speculative errors 39% vs PHAST.
 
 from repro.experiments import fig8_mispredictions
 
-from conftest import bench_suite, bench_uops, run_once
+from conftest import bench_suite, bench_uops, run_once, suite_kwargs
 
 
 def test_fig8_mispredictions(benchmark):
     result = run_once(
-        benchmark, lambda: fig8_mispredictions(bench_suite(), bench_uops())
+        benchmark, lambda: fig8_mispredictions(bench_suite(), bench_uops(),
+                                     **suite_kwargs())
     )
     print()
     print(result.render())

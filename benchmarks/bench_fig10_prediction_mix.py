@@ -7,12 +7,13 @@ small share except for mcf.
 from repro.common.statistics import arithmetic_mean
 from repro.experiments import fig10_prediction_mix
 
-from conftest import bench_suite, bench_uops, run_once
+from conftest import bench_suite, bench_uops, run_once, suite_kwargs
 
 
 def test_fig10_prediction_mix(benchmark):
     result = run_once(
-        benchmark, lambda: fig10_prediction_mix(bench_suite(), bench_uops())
+        benchmark, lambda: fig10_prediction_mix(bench_suite(), bench_uops(),
+                                      **suite_kwargs())
     )
     print()
     print(result.render())

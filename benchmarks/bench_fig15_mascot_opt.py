@@ -8,12 +8,12 @@ import pytest
 
 from repro.experiments import fig15_mascot_opt
 
-from conftest import bench_suite, bench_uops, run_once
+from conftest import bench_suite, bench_uops, run_once, suite_kwargs
 
 
 def test_fig15_mascot_opt(benchmark):
     result = run_once(
-        benchmark, lambda: fig15_mascot_opt(bench_suite(), bench_uops())
+        benchmark, lambda: fig15_mascot_opt(bench_suite(), bench_uops(), **suite_kwargs())
     )
     print()
     print(result.render())

@@ -8,6 +8,12 @@ Python while a full regeneration remains one command away:
 * ``REPRO_BENCH_UOPS``  — dynamic micro-ops per benchmark (default 40000).
 * ``REPRO_BENCH_FULL``  — set to 1 to run the complete 22-benchmark suite
   instead of the 10-benchmark representative subset.
+* ``REPRO_BENCH_JOBS``  — worker processes for suite cells (default 1;
+  results are bit-identical for any value).
+* ``REPRO_BENCH_CACHE`` — on-disk result cache: unset/``0`` disables,
+  ``1`` uses the default directory ($REPRO_CACHE_DIR or
+  ~/.cache/repro-mascot), anything else is used as the directory.  A warm
+  cache makes a figure regeneration skip every unchanged simulation.
 
 Run:  pytest benchmarks/ --benchmark-only -s
 """
@@ -36,6 +42,24 @@ def bench_suite():
     return list(REPRESENTATIVE_SUITE)
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache():
+    value = os.environ.get("REPRO_BENCH_CACHE", "0")
+    if value == "0":
+        return False
+    if value == "1":
+        return True
+    return value
+
+
+def suite_kwargs():
+    """``jobs=``/``cache=`` keywords for the suite-backed figure calls."""
+    return {"jobs": bench_jobs(), "cache": bench_cache()}
+
+
 @pytest.fixture
 def suite():
     return bench_suite()
@@ -44,6 +68,11 @@ def suite():
 @pytest.fixture
 def uops():
     return bench_uops()
+
+
+@pytest.fixture
+def jobs():
+    return bench_jobs()
 
 
 def run_once(benchmark, fn):

@@ -170,9 +170,17 @@ class AccuracyStats:
                    if k.causes_squash)
 
     def mpki(self, instructions: Optional[int] = None) -> float:
-        """Mispredictions per kilo-instruction."""
+        """Mispredictions per kilo-instruction.
+
+        A run whose warmup covered the whole trace measures zero
+        instructions and zero loads; its rate is defined as 0.0 rather
+        than an error.  A zero denominator with recorded mispredictions
+        is still rejected — that is an accounting bug, not an empty run.
+        """
         count = instructions if instructions is not None else self.instructions
         if count <= 0:
+            if count == 0 and self.mispredictions == 0:
+                return 0.0
             raise ValueError("instruction count must be positive")
         return 1000.0 * self.mispredictions / count
 
@@ -199,3 +207,26 @@ class AccuracyStats:
             self.outcome_counts[kind] += count
         for kind, count in other.prediction_counts.items():
             self.prediction_counts[kind] += count
+
+    # -- serialisation (on-disk result cache) ----------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "loads": self.loads,
+            "instructions": self.instructions,
+            "outcomes": {k.value: c for k, c in self.outcome_counts.items()},
+            "predictions": {
+                k.value: c for k, c in self.prediction_counts.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AccuracyStats":
+        stats = cls(loads=int(data["loads"]),
+                    instructions=int(data["instructions"]))
+        for value, count in data["outcomes"].items():
+            stats.outcome_counts[OutcomeKind(value)] = int(count)
+        for value, count in data["predictions"].items():
+            stats.prediction_counts[PredictionKind(value)] = int(count)
+        return stats

@@ -40,6 +40,22 @@ class RankedF1Profile:
             return 0.0
         return sum(1 for s in scores if s > threshold) / len(scores)
 
+    # -- serialisation (on-disk result cache) ----------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`.
+
+        Floats survive a JSON round-trip exactly (repr-based encoding), so
+        a cached profile is bit-identical to the freshly computed one.
+        """
+        return {"ranked": self.ranked, "periods": self.periods}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RankedF1Profile":
+        return cls(ranked=[[float(s) for s in table]
+                           for table in data["ranked"]],
+                   periods=int(data["periods"]))
+
 
 class F1Recorder:
     """Drives the periodic record/sort/reset cycle on a tracking MASCOT.

@@ -18,6 +18,7 @@ can be reproduced without writing Python:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -39,21 +40,61 @@ __all__ = ["main"]
 
 _CORES = {"golden-cove": GOLDEN_COVE, "lion-cove": LION_COVE}
 
+def _cache_arg(args):
+    """Map --no-cache / --cache-dir onto the suite APIs' cache parameter.
+
+    The CLI defaults to caching on (under $REPRO_CACHE_DIR or
+    ~/.cache/repro-mascot) so repeated figure regenerations only pay for
+    cells whose parameters or code actually changed.
+    """
+    if args.no_cache:
+        return False
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return True
+
+
+def _suite_kwargs(args):
+    return {"jobs": args.jobs, "cache": _cache_arg(args)}
+
+
 _FIGURES = {
     "fig2": lambda args: figures.fig2_smb_opportunities(args.benchmarks, args.uops),
-    "fig7": lambda args: figures.fig7_ipc_full(args.benchmarks, args.uops),
-    "fig8": lambda args: figures.fig8_mispredictions(args.benchmarks, args.uops),
-    "fig9": lambda args: figures.fig9_ipc_mdp_only(args.benchmarks, args.uops),
-    "fig10": lambda args: figures.fig10_prediction_mix(args.benchmarks, args.uops),
-    "fig11": lambda args: figures.fig11_ablation(args.benchmarks, args.uops),
-    "fig12": lambda args: figures.fig12_future_architectures(args.benchmarks,
-                                                             args.uops),
-    "fig13": lambda args: figures.fig13_table_usage(args.benchmarks, args.uops),
-    "fig14": lambda args: figures.fig14_f1_ranking(args.benchmarks, args.uops),
-    "fig15": lambda args: figures.fig15_mascot_opt(args.benchmarks, args.uops),
+    "fig7": lambda args: figures.fig7_ipc_full(args.benchmarks, args.uops,
+                                               **_suite_kwargs(args)),
+    "fig8": lambda args: figures.fig8_mispredictions(args.benchmarks, args.uops,
+                                                     **_suite_kwargs(args)),
+    "fig9": lambda args: figures.fig9_ipc_mdp_only(args.benchmarks, args.uops,
+                                                   **_suite_kwargs(args)),
+    "fig10": lambda args: figures.fig10_prediction_mix(args.benchmarks, args.uops,
+                                                       **_suite_kwargs(args)),
+    "fig11": lambda args: figures.fig11_ablation(args.benchmarks, args.uops,
+                                                 **_suite_kwargs(args)),
+    "fig12": lambda args: figures.fig12_future_architectures(
+        args.benchmarks, args.uops, **_suite_kwargs(args)),
+    "fig13": lambda args: figures.fig13_table_usage(args.benchmarks, args.uops,
+                                                    **_suite_kwargs(args)),
+    "fig14": lambda args: figures.fig14_f1_ranking(args.benchmarks, args.uops,
+                                                   **_suite_kwargs(args)),
+    "fig15": lambda args: figures.fig15_mascot_opt(args.benchmarks, args.uops,
+                                                   **_suite_kwargs(args)),
     "table1": lambda args: figures.table1_configuration(),
     "table2": lambda args: figures.table2_sizes(),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _cache_directory(text: str) -> str:
+    if os.path.exists(text) and not os.path.isdir(text):
+        raise argparse.ArgumentTypeError(f"{text!r} exists and is not a "
+                                         "directory")
+    return text
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -64,6 +105,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--uops", type=int, default=40_000,
         help="dynamic micro-ops per benchmark (default: 40000)",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for suite cells (default: 1 = serial; "
+             "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=_cache_directory, default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-mascot)",
     )
 
 
@@ -129,7 +184,7 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_compare(args) -> int:
     suite = run_ipc_suite(args.predictors, args.benchmarks, args.uops,
-                          config=_CORES[args.core])
+                          config=_CORES[args.core], **_suite_kwargs(args))
     benches = list(next(iter(suite.ipc.values())))
     rows = []
     for bench in benches:
@@ -145,7 +200,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_accuracy(args) -> int:
-    results = run_accuracy_suite(args.predictors, args.benchmarks, args.uops)
+    results = run_accuracy_suite(args.predictors, args.benchmarks, args.uops,
+                                 **_suite_kwargs(args))
     rows = []
     for name, per_bench in results.items():
         total_fd = sum(r.accuracy.false_dependencies

@@ -10,13 +10,34 @@ All the TAGE-like structures in this package compute, per table:
 The exact hash in the paper is unspecified (as is traditional for TAGE
 papers); we follow the standard TAGE recipe of XOR-ing PC shifts with one or
 two differently-folded history registers.
+
+This module also hosts :func:`stable_digest`, the content-addressing hash
+used by the on-disk result cache (:mod:`repro.experiments.result_cache`):
+unlike the table hashes above it must be stable across processes and
+interpreter invocations, so it is built on canonical JSON + SHA-256 rather
+than anything touching ``hash()``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 from .bitops import fold_bits, mask
 
-__all__ = ["table_index", "table_tag", "mix64"]
+__all__ = ["table_index", "table_tag", "mix64", "stable_digest"]
+
+
+def stable_digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``.
+
+    ``payload`` must be built from JSON-serialisable types (dicts, lists,
+    tuples, strings, numbers, booleans, None).  Keys are sorted and
+    separators fixed so the digest is independent of insertion order and
+    whitespace; tuples encode identically to lists.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def mix64(value: int) -> int:

@@ -81,3 +81,30 @@ class PipelineStats:
             "mdp_mispredictions": self.accuracy.mispredictions,
             "mean_consumer_wait": self.mean_consumer_wait,
         }
+
+    # -- serialisation (on-disk result cache) ----------------------------------
+
+    #: Raw counter fields round-tripped by to_dict/from_dict.  All integral,
+    #: so a cached run decodes bit-identically to the run that produced it.
+    _COUNTER_FIELDS = (
+        "instructions", "cycles", "loads", "stores", "branches",
+        "branch_mispredictions", "indirect_mispredictions",
+        "memory_squashes", "loads_stalled_by_prediction",
+        "loads_bypassed", "loads_forwarded",
+        "load_consumer_wait_cycles", "load_consumers",
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        data: Dict[str, object] = {
+            name: getattr(self, name) for name in self._COUNTER_FIELDS
+        }
+        data["accuracy"] = self.accuracy.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PipelineStats":
+        stats = cls(**{name: int(data[name])
+                       for name in cls._COUNTER_FIELDS})
+        stats.accuracy = AccuracyStats.from_dict(data["accuracy"])
+        return stats

@@ -15,7 +15,9 @@ from .figures import (
     table2_sizes,
 )
 from .export import export_csv, to_csv_rows
+from .parallel import CellSpec, compute_cell, execute_cells, resolve_cache
 from .reporting import csv_lines, format_percent, render_series, render_table
+from .result_cache import ResultCache, cell_key, default_cache_dir
 from .runner import (
     DEFAULT_TRACE_LENGTH,
     PredictionRunResult,
@@ -49,6 +51,13 @@ __all__ = [
     "csv_lines",
     "export_csv",
     "to_csv_rows",
+    "CellSpec",
+    "compute_cell",
+    "execute_cells",
+    "resolve_cache",
+    "ResultCache",
+    "cell_key",
+    "default_cache_dir",
     "format_percent",
     "render_series",
     "render_table",

@@ -19,18 +19,13 @@ from ..analysis.f1 import RankedF1Profile, merge_profiles
 from ..common.statistics import Histogram, geometric_mean
 from ..core.config import GOLDEN_COVE, LION_COVE, CoreConfig
 from ..predictors.configs import MASCOT_DEFAULT, MASCOT_OPT, mascot_opt_reduced_tags
-from ..predictors.mascot import Mascot
 from ..predictors.sizing import PredictorSizing, table2_rows
 from ..trace.profiles import suite_names
 from ..trace.uop import BypassClass
+from .parallel import CacheSpec, CellSpec, execute_cells
 from .reporting import format_percent, render_table
-from .runner import (
-    DEFAULT_TRACE_LENGTH,
-    default_cache,
-    run_prediction_only,
-    run_timing,
-)
-from .suite import IpcSuiteResult, make_predictor, run_accuracy_suite, run_ipc_suite
+from .runner import DEFAULT_TRACE_LENGTH, default_cache
+from .suite import IpcSuiteResult, run_accuracy_suite, run_ipc_suite
 
 __all__ = [
     "fig2_smb_opportunities",
@@ -185,10 +180,13 @@ class IpcFigureResult:
 def fig7_ipc_full(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> IpcFigureResult:
     """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
     predictors = ["nosq", "phast", "mascot"]
-    suite = run_ipc_suite(predictors, benchmarks, num_uops)
+    suite = run_ipc_suite(predictors, benchmarks, num_uops,
+                          jobs=jobs, cache=cache)
     return IpcFigureResult(
         title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
         suite=suite, predictors=predictors,
@@ -198,10 +196,13 @@ def fig7_ipc_full(
 def fig9_ipc_mdp_only(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> IpcFigureResult:
     """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
     predictors = ["store-sets", "phast", "mascot-mdp"]
-    suite = run_ipc_suite(predictors, benchmarks, num_uops)
+    suite = run_ipc_suite(predictors, benchmarks, num_uops,
+                          jobs=jobs, cache=cache)
     return IpcFigureResult(
         title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
         suite=suite, predictors=predictors,
@@ -242,9 +243,12 @@ def fig8_mispredictions(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
     predictors: Sequence[str] = ("nosq", "phast", "mascot"),
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig8Result:
     """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
-    results = run_accuracy_suite(list(predictors), benchmarks, num_uops)
+    results = run_accuracy_suite(list(predictors), benchmarks, num_uops,
+                                 jobs=jobs, cache=cache)
     totals: Dict[str, int] = {}
     false_deps: Dict[str, int] = {}
     spec_errors: Dict[str, int] = {}
@@ -291,9 +295,12 @@ class Fig10Result:
 def fig10_prediction_mix(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig10Result:
     """MASCOT's prediction and misprediction type mixes (Fig. 10)."""
-    results = run_accuracy_suite(["mascot"], benchmarks, num_uops)["mascot"]
+    results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
+                                 jobs=jobs, cache=cache)["mascot"]
     prediction_mix: Dict[str, Dict[str, float]] = {}
     misprediction_mix: Dict[str, Dict[str, float]] = {}
     for bench, run in results.items():
@@ -350,12 +357,15 @@ class Fig11Result:
 def fig11_ablation(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig11Result:
     """MASCOT vs the no-non-dependence TAGE ablation (Fig. 11)."""
     predictors = ["mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"]
-    ipc = run_ipc_suite(predictors, benchmarks, num_uops)
+    ipc = run_ipc_suite(predictors, benchmarks, num_uops,
+                        jobs=jobs, cache=cache)
     accuracy = run_accuracy_suite(["mascot", "tage-no-nd"], benchmarks,
-                                  num_uops)
+                                  num_uops, jobs=jobs, cache=cache)
     false_deps: Dict[str, int] = {}
     for name, per_bench in accuracy.items():
         false_deps[name] = sum(
@@ -390,12 +400,15 @@ def fig12_future_architectures(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
     cores: Sequence[CoreConfig] = (GOLDEN_COVE, LION_COVE),
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig12Result:
     """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
     predictors = ["perfect-mdp-smb", "mascot"]
     geomeans: Dict[str, Dict[str, float]] = {}
     for core in cores:
-        suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core)
+        suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core,
+                              jobs=jobs, cache=cache)
         geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
     return Fig12Result(geomeans=geomeans)
 
@@ -424,16 +437,17 @@ class Fig13Result:
 def fig13_table_usage(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig13Result:
     """Share of predictions served by each MASCOT table (Fig. 13)."""
-    benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
-    cache = default_cache()
+    # warmup=0: every prediction of the run counts, as the figure's
+    # per-table shares are a property of the whole replay.
+    results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
+                                 warmup=0, jobs=jobs, cache=cache)["mascot"]
     totals: Optional[List[int]] = None
-    for bench in benchmarks:
-        trace = cache.get(bench, num_uops)
-        predictor = make_predictor("mascot")
-        run_prediction_only(trace, predictor)
-        counts = predictor.predictions_per_table
+    for run in results.values():
+        counts = run.predictions_per_table
         if totals is None:
             totals = list(counts)
         else:
@@ -477,15 +491,18 @@ def fig14_f1_ranking(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
     period_loads: int = 20_000,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig14Result:
     """Rank-ordered per-entry F1 scores, averaged over benchmarks (Fig. 14)."""
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
-    cache = default_cache()
+    cells = [
+        CellSpec(mode="accuracy", benchmark=bench, num_uops=num_uops,
+                 predictor="mascot", f1_period=period_loads, track_f1=True)
+        for bench in benchmarks
+    ]
     profiles: List[RankedF1Profile] = []
-    for bench in benchmarks:
-        trace = cache.get(bench, num_uops)
-        predictor = Mascot(MASCOT_DEFAULT, track_f1=True)
-        result = run_prediction_only(trace, predictor, f1_period=period_loads)
+    for result in execute_cells(cells, jobs=jobs, cache=cache):
         assert result.f1_profile is not None
         profiles.append(result.f1_profile)
     return Fig14Result(profile=merge_profiles(profiles))
@@ -514,12 +531,14 @@ class Fig15Result:
 def fig15_mascot_opt(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = DEFAULT_TRACE_LENGTH,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Fig15Result:
     """Area-optimised MASCOT variants: IPC delta vs storage (Fig. 15)."""
     predictors = ["mascot", "mascot-opt", "mascot-opt-tag2",
                   "mascot-opt-tag4", "mascot-opt-tag6"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
-                          baseline="mascot")
+                          baseline="mascot", jobs=jobs, cache=cache)
     sizes = {
         "mascot": MASCOT_DEFAULT.storage_kib,
         "mascot-opt": MASCOT_OPT.storage_kib,

@@ -1,0 +1,234 @@
+"""Content-addressed on-disk cache of suite cell results.
+
+A *cell* is the atomic unit of suite work — one ``(benchmark, predictor,
+core config)`` simulation (see :mod:`repro.experiments.parallel`).  Cells
+are pure functions of their parameters plus the simulator's code, so their
+results can be memoised on disk: a full-suite sweep re-run after editing
+one predictor only recomputes that predictor's cells.
+
+Keying
+------
+Each cell's key is :func:`repro.common.hashing.stable_digest` over:
+
+* every trace-generation parameter (benchmark, length, seeds, windows),
+* the run parameters (mode, warmup, F1 period),
+* a **predictor fingerprint** — the registry name, the defining class, a
+  dump of its config dataclass when it has one, and a hash of the source
+  of its defining module plus the shared predictor machinery
+  (``predictors/base|configs|tables.py``),
+* the core configuration (timing mode), and
+* a **code-version salt** — a hash of every source file of the shared
+  simulation substrate (``trace``, ``core``, ``memory``, ``branch``,
+  ``analysis``, ``common`` and the runner itself).
+
+Editing shared machinery therefore invalidates everything; editing one
+predictor module invalidates only cells naming a predictor defined there.
+Changes that the fingerprint cannot see (e.g. constructor arguments passed
+by a factory registered in ``suite.py`` for a predictor without a config
+dataclass) are not detected — bump :data:`CACHE_SCHEMA_VERSION` or use
+``--no-cache`` when in doubt.
+
+Storage
+-------
+One JSON file per cell under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-mascot/``), named ``<key>.json`` and carrying the key
+again in its body so truncated or corrupt files verifiably fail decode.
+Any unreadable/undecodable file is treated as a miss, never an error.
+All cached payloads are integers (or exact-round-trip floats for F1
+profiles), so a cache hit is bit-identical to recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from dataclasses import asdict, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..common.hashing import stable_digest
+from ..core.stats import PipelineStats
+from .runner import PredictionRunResult
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "cell_key",
+    "default_cache_dir",
+    "predictor_fingerprint",
+    "shared_code_salt",
+]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every existing cache entry (e.g. when the meaning of
+#: a keyed field changes without its value changing).
+CACHE_SCHEMA_VERSION = 1
+
+#: Root of the installed ``repro`` package (``.../src/repro``).
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+#: Source trees/files every cell result depends on, relative to the
+#: package root.  ``predictors/`` is deliberately absent: predictor code is
+#: salted per predictor by :func:`predictor_fingerprint` so editing one
+#: predictor module leaves other predictors' cells valid.
+_SHARED_SOURCES = (
+    "trace", "core", "memory", "branch", "analysis", "common",
+    "experiments/runner.py",
+)
+
+#: Predictor machinery shared by every predictor implementation.
+_PREDICTOR_COMMON_SOURCES = (
+    "predictors/base.py", "predictors/configs.py", "predictors/tables.py",
+)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mascot``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-mascot"
+
+
+@lru_cache(maxsize=None)
+def _source_digest(relative_parts: tuple) -> str:
+    """Hash the named source files/trees under the package root."""
+    digest = hashlib.sha256()
+    for rel in relative_parts:
+        path = _PACKAGE_ROOT / rel
+        files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for source in files:
+            digest.update(str(source.relative_to(_PACKAGE_ROOT)).encode())
+            digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def shared_code_salt() -> str:
+    """Code-version salt over the shared simulation substrate."""
+    return _source_digest(_SHARED_SOURCES)
+
+
+@lru_cache(maxsize=None)
+def predictor_fingerprint(name: str) -> Dict[str, object]:
+    """Identity of a registered predictor for cache keying.
+
+    Builds the predictor once (cheap — table allocation only) to observe
+    the class the registry actually constructs and the config it was
+    given, then hashes the class's defining module together with the
+    shared predictor machinery.
+    """
+    from .suite import make_predictor  # local import: suite imports us
+
+    predictor = make_predictor(name)
+    cls = type(predictor)
+    module = sys.modules[cls.__module__]
+    module_file = Path(getattr(module, "__file__", ""))
+    try:
+        sources = (str(module_file.resolve().relative_to(_PACKAGE_ROOT)),)
+    except ValueError:  # defined outside the package; name alone must do
+        sources = ()
+    config = getattr(predictor, "config", None)
+    return {
+        "name": name,
+        "class": f"{cls.__module__}.{cls.__qualname__}",
+        "config": asdict(config) if is_dataclass(config) else None,
+        "code": _source_digest(sources + _PREDICTOR_COMMON_SOURCES),
+    }
+
+
+def _encode_result(result: Union[PipelineStats, PredictionRunResult]) -> Dict:
+    if isinstance(result, PipelineStats):
+        return {"kind": "timing", "data": result.to_dict()}
+    if isinstance(result, PredictionRunResult):
+        return {"kind": "accuracy", "data": result.to_dict()}
+    raise TypeError(f"uncacheable result type {type(result).__name__}")
+
+
+def _decode_result(payload: Dict) -> Union[PipelineStats, PredictionRunResult]:
+    kind = payload["kind"]
+    if kind == "timing":
+        return PipelineStats.from_dict(payload["data"])
+    if kind == "accuracy":
+        return PredictionRunResult.from_dict(payload["data"])
+    raise ValueError(f"unknown cached result kind {kind!r}")
+
+
+class ResultCache:
+    """One JSON file per cell key under a cache directory.
+
+    ``hits`` / ``misses`` / ``stores`` counters instrument test assertions
+    ("a warm sweep performs zero re-runs") and ``verbose`` suite output.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[object]:
+        """Decoded result for ``key``, or None on miss/corruption."""
+        try:
+            payload = json.loads(self.path_for(key).read_text())
+            if payload["key"] != key or payload["v"] != CACHE_SCHEMA_VERSION:
+                raise ValueError("stale or corrupt cache entry")
+            result = _decode_result(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, corrupt or schema-mismatched entries are
+            # all plain misses; the recomputed result overwrites them.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: object) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        payload = {
+            "v": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": _encode_result(result),
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+def cell_key(spec) -> str:
+    """Content-address of one :class:`~repro.experiments.parallel.CellSpec`.
+
+    Any single-field change — trace seed, window, warmup, predictor
+    config, core config, simulator source — yields a different key.
+    """
+    core = spec.config
+    return stable_digest({
+        "v": CACHE_SCHEMA_VERSION,
+        "mode": spec.mode,
+        "trace": {
+            "benchmark": spec.benchmark,
+            "num_uops": spec.num_uops,
+            "program_seed": spec.program_seed,
+            "trace_seed": spec.trace_seed,
+            "store_window": spec.store_window,
+            "instr_window": spec.instr_window,
+        },
+        "run": {
+            "warmup": spec.warmup,
+            "f1_period": spec.f1_period,
+            "track_f1": spec.track_f1,
+        },
+        "predictor": predictor_fingerprint(spec.predictor),
+        "core": asdict(core) if core is not None else None,
+        "code": shared_code_salt(),
+    })

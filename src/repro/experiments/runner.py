@@ -92,6 +92,28 @@ class PredictionRunResult:
     #: Ranked F1 profile when an :class:`F1Recorder` was attached (Fig. 14).
     f1_profile: Optional[RankedF1Profile] = None
 
+    # -- serialisation (on-disk result cache) ----------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; inverse of :meth:`from_dict`."""
+        return {
+            "accuracy": self.accuracy.to_dict(),
+            "predictions_per_table": list(self.predictions_per_table),
+            "f1_profile": (self.f1_profile.to_dict()
+                           if self.f1_profile is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictionRunResult":
+        profile = data.get("f1_profile")
+        return cls(
+            accuracy=AccuracyStats.from_dict(data["accuracy"]),
+            predictions_per_table=[int(c)
+                                   for c in data["predictions_per_table"]],
+            f1_profile=(RankedF1Profile.from_dict(profile)
+                        if profile is not None else None),
+        )
+
 
 def run_prediction_only(
     trace: Sequence[MicroOp],
@@ -151,7 +173,11 @@ def run_prediction_only(
             if recorder is not None:
                 recorder.tick()
 
-    stats.instructions = max(len(trace) - warmup, 1)
+    # The measured-instruction denominator is exactly the post-warmup
+    # region.  A warmup covering the whole trace measures nothing:
+    # zero instructions, zero loads (not a phantom instruction that
+    # would fabricate a non-zero MPKI denominator).
+    stats.instructions = max(len(trace) - warmup, 0)
     per_table = list(getattr(predictor, "predictions_per_table", []))
     profile = recorder.finish() if recorder is not None else None
     return PredictionRunResult(
@@ -163,7 +189,24 @@ def run_prediction_only(
 
 def _prune(mapping: Dict[int, int], current_seq: int,
            horizon: int = 2048) -> None:
-    """Drop entries too old to matter for in-flight dependence queries."""
+    """Drop entries too old to matter for in-flight dependence queries.
+
+    Bounded-memory invariant: pruning fires once the map exceeds 4096
+    entries and keeps only stores within ``horizon`` (2048) sequence
+    numbers, so the map can never regrow past one store per retained
+    sequence number — its size is bounded by ``horizon`` right after a
+    prune and by 4097 at any instant.
+
+    This is lossless for classification: the trace generator only
+    annotates dependencies within ``instr_window`` (default 512 ≪ 2048)
+    micro-ops of the load, and :func:`classify` reads the ground truth
+    from the load's own annotations, never from these maps.  What a
+    pruned store *does* lose is its auxiliary context — the
+    ``branches_between`` and ``store_pc`` hints handed to
+    ``ActualOutcome`` — which only degrades training heuristics (e.g.
+    Store Sets' SSIT updates) for dependencies older than the horizon;
+    with default trace windows that case cannot occur.
+    """
     dead = [seq for seq in mapping if current_seq - seq > horizon]
     for seq in dead:
         del mapping[seq]

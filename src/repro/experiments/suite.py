@@ -27,13 +27,8 @@ from ..predictors.phast import Phast
 from ..predictors.store_sets import StoreSets
 from ..predictors.tage_nond import TAGE_NO_ND_CONFIG
 from ..trace.profiles import suite_names
-from .runner import (
-    DEFAULT_TRACE_LENGTH,
-    PredictionRunResult,
-    default_cache,
-    run_prediction_only,
-    run_timing,
-)
+from .parallel import CacheSpec, CellSpec, execute_cells
+from .runner import DEFAULT_TRACE_LENGTH, PredictionRunResult
 
 __all__ = [
     "PREDICTOR_FACTORIES",
@@ -116,22 +111,35 @@ def run_ipc_suite(
     config: CoreConfig = GOLDEN_COVE,
     baseline: str = "perfect-mdp",
     verbose: bool = False,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> IpcSuiteResult:
-    """Timing-mode sweep; the baseline is added automatically if missing."""
+    """Timing-mode sweep; the baseline is added automatically if missing.
+
+    ``jobs`` shards the (benchmark × predictor) cells across worker
+    processes; ``cache`` enables the on-disk result cache (see
+    :data:`~repro.experiments.parallel.CacheSpec`).  The grid is
+    bit-identical for every ``jobs`` value and cache state.
+    """
     names = list(predictors)
     if baseline not in names:
         names.insert(0, baseline)
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
-    cache = default_cache()
+
+    cells = [
+        CellSpec(mode="timing", benchmark=bench, num_uops=num_uops,
+                 predictor=name, config=config,
+                 store_window=config.sb_size, instr_window=config.rob_size)
+        for bench in benchmarks for name in names
+    ]
+    cell_results = execute_cells(cells, jobs=jobs, cache=cache)
 
     ipc: Dict[str, Dict[str, float]] = {n: {} for n in names}
     stats: Dict[str, Dict[str, PipelineStats]] = {n: {} for n in names}
+    grid = iter(cell_results)
     for bench in benchmarks:
-        trace = cache.get(bench, num_uops,
-                          store_window=config.sb_size,
-                          instr_window=config.rob_size)
         for name in names:
-            result = run_timing(trace, make_predictor(name), config=config)
+            result = next(grid)
             ipc[name][bench] = result.ipc
             stats[name][bench] = result
             if verbose:
@@ -145,25 +153,35 @@ def run_accuracy_suite(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     verbose: bool = False,
     warmup: Optional[int] = None,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> Dict[str, Dict[str, PredictionRunResult]]:
     """Prediction-only sweep: results[predictor][benchmark].
 
     ``warmup`` defaults to a quarter of the trace: predictors train on it
     but it is excluded from the statistics (steady-state measurement, as
-    the paper's warmed SimPoints provide).
+    the paper's warmed SimPoints provide).  ``jobs`` and ``cache`` behave
+    as in :func:`run_ipc_suite`.
     """
     if warmup is None:
         warmup = num_uops // 4
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
-    cache = default_cache()
+
+    names = list(predictors)
+    cells = [
+        CellSpec(mode="accuracy", benchmark=bench, num_uops=num_uops,
+                 predictor=name, warmup=warmup)
+        for bench in benchmarks for name in names
+    ]
+    cell_results = execute_cells(cells, jobs=jobs, cache=cache)
+
     results: Dict[str, Dict[str, PredictionRunResult]] = {
-        n: {} for n in predictors
+        n: {} for n in names
     }
+    grid = iter(cell_results)
     for bench in benchmarks:
-        trace = cache.get(bench, num_uops)
-        for name in predictors:
-            result = run_prediction_only(trace, make_predictor(name),
-                                         warmup=warmup)
+        for name in names:
+            result = next(grid)
             results[name][bench] = result
             if verbose:
                 acc = result.accuracy

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.config import GOLDEN_COVE, CoreConfig
+from .parallel import CacheSpec
 from .suite import IpcSuiteResult, run_ipc_suite
 
 __all__ = ["CoreSweepPoint", "CoreSweepResult", "sweep_core_parameter"]
@@ -54,6 +55,8 @@ def sweep_core_parameter(
     benchmarks: Optional[Sequence[str]] = None,
     num_uops: int = 40_000,
     base: CoreConfig = GOLDEN_COVE,
+    jobs: int = 1,
+    cache: CacheSpec = None,
 ) -> CoreSweepResult:
     """Run the predictor set on each varied core.
 
@@ -64,7 +67,10 @@ def sweep_core_parameter(
 
     Each point is normalised to a perfect-MDP run **on the same core**, so
     the series isolates how much the *predictor* is worth as the machine
-    grows, exactly as Fig. 12 does for its two cores.
+    grows, exactly as Fig. 12 does for its two cores.  ``jobs`` and
+    ``cache`` are forwarded to every point's
+    :func:`~repro.experiments.suite.run_ipc_suite`; the varied core config
+    is part of each cell's cache key, so points never alias.
     """
     if not variations:
         raise ValueError("no variations to sweep")
@@ -73,7 +79,7 @@ def sweep_core_parameter(
         label = ",".join(f"{k}={v}" for k, v in overrides.items())
         config = base.with_(name=f"{base.name}[{label}]", **overrides)
         suite = run_ipc_suite(list(predictors), benchmarks, num_uops,
-                              config=config)
+                              config=config, jobs=jobs, cache=cache)
         result.points.append(CoreSweepPoint(label=label, config=config,
                                             suite=suite))
     return result

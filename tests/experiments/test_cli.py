@@ -5,6 +5,12 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the CLI's default-on result cache out of the user's home."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 class TestSimulate:
     def test_runs(self, capsys):
         assert main(["simulate", "exchange2", "mascot",
@@ -35,6 +41,25 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "geomean" in out
         assert "mascot" in out
+
+    def test_parallel_matches_serial(self, capsys):
+        """--jobs must not change a single digit of the output."""
+        assert main(["compare", "mascot", "--benchmarks", "exchange2",
+                     "--uops", "4000", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["compare", "mascot", "--benchmarks", "exchange2",
+                     "--uops", "4000", "--no-cache", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_dir_used(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["compare", "mascot", "--benchmarks", "exchange2",
+                     "--uops", "4000", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("*.json"))  # populated
+        assert main(["compare", "mascot", "--benchmarks", "exchange2",
+                     "--uops", "4000", "--cache-dir", str(cache_dir)]) == 0
+        assert capsys.readouterr().out == first  # warm hit, same digits
 
 
 class TestAccuracy:

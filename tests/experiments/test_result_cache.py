@@ -1,0 +1,221 @@
+"""Property tests for the content-addressed result cache.
+
+Two invariants matter: any single-field change to a cell's parameters
+yields a different key, and no on-disk damage ever surfaces as anything
+worse than a cache miss.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyStats, Outcome, OutcomeKind
+from repro.predictors.base import PredictionKind
+from repro.core.config import GOLDEN_COVE, LION_COVE
+from repro.core.stats import PipelineStats
+from repro.experiments.parallel import CellSpec, execute_cells
+from repro.experiments.result_cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    cell_key,
+    default_cache_dir,
+    predictor_fingerprint,
+    shared_code_salt,
+)
+from repro.experiments.runner import PredictionRunResult
+
+
+BASE = CellSpec(mode="accuracy", benchmark="lbm", num_uops=5_000,
+                predictor="mascot")
+
+
+def _variant(**changes):
+    return dataclasses.replace(BASE, **changes)
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        assert cell_key(BASE) == cell_key(BASE)
+        assert cell_key(BASE) == cell_key(_variant())
+
+    @pytest.mark.parametrize("changes", [
+        {"benchmark": "mcf"},
+        {"num_uops": 5_001},
+        {"program_seed": 7},
+        {"trace_seed": 2},
+        {"store_window": 115},
+        {"instr_window": 256},
+        {"warmup": 100},
+        {"f1_period": 500},
+        {"predictor": "phast"},
+        {"predictor": "nosq"},
+    ], ids=lambda c: next(iter(c)))
+    def test_single_field_change_changes_key(self, changes):
+        assert cell_key(_variant(**changes)) != cell_key(BASE)
+
+    def test_mode_changes_key(self):
+        timing = _variant(mode="timing", config=GOLDEN_COVE)
+        assert cell_key(timing) != cell_key(BASE)
+
+    def test_core_config_changes_key(self):
+        golden = _variant(mode="timing", config=GOLDEN_COVE)
+        lion = _variant(mode="timing", config=LION_COVE)
+        assert cell_key(golden) != cell_key(lion)
+
+    def test_single_core_parameter_changes_key(self):
+        base = _variant(mode="timing", config=GOLDEN_COVE)
+        tweaked = _variant(mode="timing",
+                           config=dataclasses.replace(GOLDEN_COVE,
+                                                      sb_size=115))
+        assert cell_key(base) != cell_key(tweaked)
+
+    def test_predictor_config_is_keyed(self):
+        """mascot and mascot-opt share a class but not a key: the
+        fingerprint captures the config dataclass, not just the module."""
+        fp_default = predictor_fingerprint("mascot")
+        fp_opt = predictor_fingerprint("mascot-opt")
+        assert fp_default["class"] == fp_opt["class"]
+        assert fp_default["config"] != fp_opt["config"]
+        assert (cell_key(BASE)
+                != cell_key(_variant(predictor="mascot-opt")))
+
+    def test_keys_are_filename_safe_hex(self):
+        key = cell_key(BASE)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_shared_code_salt_is_stable(self):
+        assert shared_code_salt() == shared_code_salt()
+
+
+def _sample_accuracy_result():
+    stats = AccuracyStats()
+    stats.instructions = 5_000
+    stats.record(Outcome(OutcomeKind.CORRECT_MDP, PredictionKind.MDP, True))
+    stats.record(Outcome(OutcomeKind.MISSED_DEP, PredictionKind.NO_DEP, False))
+    stats.record(Outcome(OutcomeKind.CORRECT_NODEP, PredictionKind.NO_DEP,
+                         True))
+    return PredictionRunResult(accuracy=stats,
+                               predictions_per_table=[3, 1, 0])
+
+
+class TestRoundTrip:
+    def test_accuracy_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        original = _sample_accuracy_result()
+        cache.store("k" * 64, original)
+        loaded = cache.load("k" * 64)
+        assert isinstance(loaded, PredictionRunResult)
+        assert loaded.to_dict() == original.to_dict()
+        assert loaded.accuracy.mispredictions == 1
+
+    def test_timing_result_via_engine(self, tmp_path):
+        """A real timing cell round-trips with every counter intact."""
+        cache = ResultCache(tmp_path)
+        spec = CellSpec(mode="timing", benchmark="exchange2", num_uops=4_000,
+                        predictor="mascot", config=GOLDEN_COVE)
+        (direct,) = execute_cells([spec], cache=cache)
+        (cached,) = execute_cells([spec], cache=cache)
+        assert isinstance(direct, PipelineStats)
+        assert cached.to_dict() == direct.to_dict()
+        assert cached.ipc == direct.ipc
+        assert cache.hits == 1
+
+    def test_f1_profile_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = CellSpec(mode="accuracy", benchmark="perlbench1",
+                        num_uops=6_000, predictor="mascot",
+                        f1_period=1_000, track_f1=True)
+        (direct,) = execute_cells([spec], cache=cache)
+        (cached,) = execute_cells([spec], cache=cache)
+        assert direct.f1_profile is not None
+        assert cached.f1_profile.ranked == direct.f1_profile.ranked
+        assert cached.f1_profile.periods == direct.f1_profile.periods
+
+    def test_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("a" * 64) is None
+        cache.store("a" * 64, _sample_accuracy_result())
+        cache.load("a" * 64)
+        assert (cache.misses, cache.stores, cache.hits) == (1, 1, 1)
+
+
+class TestCorruptionIsAMiss:
+    KEY = "b" * 64
+
+    @pytest.fixture
+    def warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(self.KEY, _sample_accuracy_result())
+        return cache
+
+    def test_truncated_file(self, warm):
+        path = warm.path_for(self.KEY)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert warm.load(self.KEY) is None
+
+    def test_not_json(self, warm):
+        warm.path_for(self.KEY).write_text("not json at all {{{")
+        assert warm.load(self.KEY) is None
+
+    def test_empty_file(self, warm):
+        warm.path_for(self.KEY).write_text("")
+        assert warm.load(self.KEY) is None
+
+    def test_wrong_key_in_body(self, warm):
+        """A file renamed/copied to the wrong key must not be served."""
+        payload = json.loads(warm.path_for(self.KEY).read_text())
+        other = ResultCache(warm.directory)
+        other.path_for("c" * 64).write_text(json.dumps(payload))
+        assert other.load("c" * 64) is None
+
+    def test_schema_version_mismatch(self, warm):
+        path = warm.path_for(self.KEY)
+        payload = json.loads(path.read_text())
+        payload["v"] = 999
+        path.write_text(json.dumps(payload))
+        assert warm.load(self.KEY) is None
+
+    def test_unknown_result_kind(self, warm):
+        path = warm.path_for(self.KEY)
+        payload = json.loads(path.read_text())
+        payload["result"]["kind"] = "mystery"
+        path.write_text(json.dumps(payload))
+        assert warm.load(self.KEY) is None
+
+    def test_mangled_result_body(self, warm):
+        path = warm.path_for(self.KEY)
+        payload = json.loads(path.read_text())
+        payload["result"]["data"] = {"wrong": "shape"}
+        path.write_text(json.dumps(payload))
+        assert warm.load(self.KEY) is None
+
+    def test_corrupt_entry_recomputed_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = CellSpec(mode="accuracy", benchmark="lbm", num_uops=4_000,
+                        predictor="phast")
+        (first,) = execute_cells([spec], cache=cache)
+        cache.path_for(cell_key(spec)).write_text("garbage")
+        (second,) = execute_cells([spec], cache=cache)
+        assert second.to_dict() == first.to_dict()
+        (third,) = execute_cells([spec], cache=cache)  # repaired on store
+        assert third.to_dict() == first.to_dict()
+        assert cache.hits == 1
+
+    def test_store_into_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "a" / "b" / "c")
+        cache.store("d" * 64, _sample_accuracy_result())
+        assert cache.load("d" * 64) is not None
+
+
+class TestDefaultDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        path = default_cache_dir()
+        assert path.name == "repro-mascot"
+        assert path.parent.name == ".cache"

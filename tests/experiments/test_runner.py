@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.runner import (
     TraceCache,
+    _prune,
     default_cache,
     run_prediction_only,
     run_timing,
@@ -12,6 +13,7 @@ from repro.core.config import GOLDEN_COVE
 from repro.predictors.mascot import Mascot
 from repro.predictors.perfect import PerfectMDP
 from repro.predictors.phast import Phast
+from repro.trace.uop import BypassClass, MicroOp, OpClass
 
 from tests.conftest import small_trace
 
@@ -76,6 +78,109 @@ class TestPredictionOnly:
         r1 = run_prediction_only(trace, Mascot())
         r2 = run_prediction_only(trace, Mascot())
         assert r1.accuracy.outcome_counts == r2.accuracy.outcome_counts
+
+
+class TestWarmup:
+    def test_partial_warmup_denominator(self):
+        """Measured instructions are exactly the post-warmup region."""
+        trace = small_trace("perlbench1", 10_000)
+        warmup = 4_000
+        result = run_prediction_only(trace, Mascot(), warmup=warmup)
+        assert result.accuracy.instructions == len(trace) - warmup
+        expected = sum(1 for u in trace if u.is_load and u.seq >= warmup)
+        assert result.accuracy.loads == expected
+
+    def test_warmup_covering_whole_trace(self):
+        """Regression: warmup >= len(trace) used to fabricate a phantom
+        instruction (max(..., 1)), reporting instructions=1 and an MPKI
+        with a bogus denominator.  An all-warmup run measures nothing."""
+        trace = small_trace("perlbench1", 5_000)
+        result = run_prediction_only(trace, Mascot(), warmup=len(trace))
+        assert result.accuracy.instructions == 0
+        assert result.accuracy.loads == 0
+        assert result.accuracy.mispredictions == 0
+        assert result.accuracy.mpki() == 0.0
+
+    def test_warmup_beyond_trace_length(self):
+        trace = small_trace("perlbench1", 2_000)
+        result = run_prediction_only(trace, Mascot(),
+                                     warmup=len(trace) + 10_000)
+        assert result.accuracy.instructions == 0
+        assert result.accuracy.mpki() == 0.0
+
+    def test_zero_warmup_unchanged(self):
+        trace = small_trace("perlbench1", 5_000)
+        result = run_prediction_only(trace, Mascot(), warmup=0)
+        assert result.accuracy.instructions == len(trace)
+
+    def test_mpki_still_rejects_inconsistent_zero(self):
+        """A zero denominator with recorded mispredictions is an
+        accounting bug, not an empty run, and must keep raising."""
+        trace = small_trace("perlbench1", 5_000)
+        result = run_prediction_only(trace, Mascot())
+        assert result.accuracy.mispredictions > 0
+        with pytest.raises(ValueError):
+            result.accuracy.mpki(0)
+
+
+class TestPruneHorizon:
+    def test_prune_bounds_map_size(self):
+        mapping = {seq: seq for seq in range(5_000)}
+        _prune(mapping, current_seq=5_000)
+        assert len(mapping) == 2_048
+        assert min(mapping) == 5_000 - 2_048
+
+    def test_prune_keeps_recent_entries(self):
+        mapping = {seq: seq * 10 for seq in range(100)}
+        _prune(mapping, current_seq=150)
+        assert mapping == {seq: seq * 10 for seq in range(100)}
+
+    def test_prune_custom_horizon(self):
+        mapping = {seq: 0 for seq in range(1_000)}
+        _prune(mapping, current_seq=1_000, horizon=10)
+        assert set(mapping) == set(range(990, 1_000))
+
+    def _long_distance_trace(self, filler_stores=4_300):
+        """A load whose producing store is far beyond the prune horizon.
+
+        Store seq 0 writes 0x1000; thousands of unrelated stores then
+        force the runner's auxiliary maps past their 4096-entry trigger,
+        pruning seq 0; finally a load reads 0x1000.  The dependence
+        annotation travels on the load itself, so pruning must not
+        affect classification.
+        """
+        uops = [MicroOp(seq=0, pc=0x400, op=OpClass.STORE,
+                        address=0x1000, size=8)]
+        for i in range(1, filler_stores + 1):
+            uops.append(MicroOp(seq=i, pc=0x500 + 4 * i, op=OpClass.STORE,
+                                address=0x8000 + 16 * i, size=8))
+        uops.append(MicroOp(
+            seq=filler_stores + 1, pc=0x9000, op=OpClass.LOAD,
+            address=0x1000, size=8,
+            store_distance=filler_stores + 1, dep_store_seq=0,
+            bypass=BypassClass.DIRECT,
+        ))
+        return uops
+
+    def test_pruned_store_does_not_break_classification(self):
+        """Ground truth is read from the load's annotations, never the
+        pruned store_branch/store_pc maps: the oracle stays perfect even
+        when the conflicting store fell off the horizon."""
+        trace = self._long_distance_trace()
+        result = run_prediction_only(trace, PerfectMDP())
+        assert result.accuracy.loads == 1
+        assert result.accuracy.mispredictions == 0
+
+    def test_below_trigger_identical_to_above(self):
+        """The 4096-entry trigger only affects auxiliary hints, so oracle
+        accuracy is identical either side of it."""
+        short = run_prediction_only(self._long_distance_trace(100),
+                                    PerfectMDP())
+        long = run_prediction_only(self._long_distance_trace(4_300),
+                                   PerfectMDP())
+        assert short.accuracy.mispredictions == 0
+        assert long.accuracy.mispredictions == 0
+        assert short.accuracy.outcome_counts == long.accuracy.outcome_counts
 
 
 class TestTiming:
