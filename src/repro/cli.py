@@ -13,6 +13,9 @@ can be reproduced without writing Python:
 * ``gen-trace`` — generate and serialise a trace for external use.
 * ``validate``  — check a serialised trace against every consumer
   invariant (see :mod:`repro.trace.validate`).
+* ``lint``      — static simulator-correctness checks (oracle isolation,
+  determinism/cache safety, hardware realizability; see
+  :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from typing import List, Optional
 
 from .core.config import GOLDEN_COVE, LION_COVE
 from .experiments import figures
+from .lint import cli as lint_cli
 from .experiments.reporting import render_table
 from .experiments.runner import default_cache, run_timing
 from .experiments.suite import (
@@ -168,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--store-window", type=int, default=114)
     check.add_argument("--instr-window", type=int, default=512)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static simulator-correctness checks (oracle isolation, "
+             "determinism, hardware realizability)",
+    )
+    lint_cli.add_arguments(lint)
+
     return parser
 
 
@@ -268,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_gen_trace(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "lint":
+        return lint_cli.run(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,0 +1,72 @@
+"""Committed-baseline support.
+
+A baseline is a JSON file of previously-accepted finding fingerprints; a
+finding whose fingerprint appears in the baseline is reported but does not
+fail the run.  This lets a new rule land with the tree's pre-existing debt
+recorded instead of suppressed inline, and makes the debt shrink-only:
+``--update-baseline`` rewrites the file from the *current* findings, so
+fixing a violation removes its entry.
+
+Fingerprints ignore line numbers (see :mod:`repro.lint.findings`), so
+unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "apply_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if missing)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return Counter(
+        entry["fingerprint"] for entry in data.get("findings", [])
+    )
+
+
+def apply_baseline(findings: List[Finding], baseline: Counter) -> None:
+    """Mark findings covered by the baseline (multiset semantics)."""
+    remaining = Counter(baseline)
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        fingerprint = finding.fingerprint
+        if remaining[fingerprint] > 0:
+            remaining[fingerprint] -= 1
+            finding.baselined = True
+
+
+def write_baseline(findings: List[Finding], path: Union[str, Path]) -> None:
+    """Record every non-suppressed finding as accepted debt."""
+    entries: List[Dict[str, object]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        if finding.suppressed:
+            continue
+        entries.append({
+            "rule": finding.rule,
+            "module": finding.module,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "fingerprint": finding.fingerprint,
+        })
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,110 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.lint``.
+
+Exit status: 0 when no active findings remain (suppressed and baselined
+findings do not count), 1 otherwise.  The default target is the installed
+``repro`` package, so ``python -m repro.lint`` works from any directory;
+CI pins the tree explicitly with ``repro lint src/repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import write_baseline
+from .engine import ALL_RULES, lint_paths
+from .report import render_json, render_text
+
+__all__ = ["add_arguments", "run", "main"]
+
+#: Baseline picked up automatically when present in the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help=f"baseline file of accepted findings (default: "
+             f"./{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule with its description and exit",
+    )
+
+
+def _default_paths() -> List[str]:
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        width = max(len(rule) for rule in ALL_RULES)
+        for rule in sorted(ALL_RULES):
+            print(f"{rule.ljust(width)}  {ALL_RULES[rule]}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    baseline = args.baseline
+    if baseline is None and Path(DEFAULT_BASELINE).exists():
+        baseline = DEFAULT_BASELINE
+
+    try:
+        result = lint_paths(paths, baseline=baseline)
+    except FileNotFoundError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        write_baseline(result.findings, target)
+        accepted = sum(1 for f in result.findings if not f.suppressed)
+        print(f"repro-lint: wrote {accepted} accepted findings to {target}")
+        return 0
+
+    if args.format == "json":
+        sys.stdout.write(render_json(result.findings, result.files))
+    else:
+        sys.stdout.write(render_text(result.findings, result.files,
+                                     show_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based simulator-correctness linter "
+                    "(oracle isolation, determinism, hardware "
+                    "realizability)",
+    )
+    add_arguments(parser)
+    try:
+        return run(parser.parse_args(argv))
+    except BrokenPipeError:
+        # Reports piped into `head` etc.; a truncated report is not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Lint engine: file discovery, checker orchestration, suppressions.
+
+Library entry point::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src/repro"])
+    assert result.ok, result.findings
+
+Checkers are pure functions ``PackageIndex -> List[Finding]``; adding a
+rule family means adding a module with a ``RULES`` dict and a ``check``
+function and listing it in :data:`CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from . import determinism, oracle, realizability
+from .baseline import apply_baseline, load_baseline
+from .findings import Finding
+from .index import PackageIndex
+from .source import SourceModule, load_module
+
+__all__ = ["ALL_RULES", "CHECKERS", "LintResult", "collect_files",
+           "lint_paths"]
+
+CHECKERS = (oracle, determinism, realizability)
+
+#: rule name -> one-line description (includes the engine's own rules).
+ALL_RULES: Dict[str, str] = {
+    "parse-error": "file could not be parsed as Python",
+}
+for _checker in CHECKERS:
+    ALL_RULES.update(_checker.RULES)
+
+
+@dataclass
+class LintResult:
+    """Findings plus enough context to render reports."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    unique = sorted({p.resolve(): p for p in files}.items())
+    return [original for _, original in unique]
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    baseline: Optional[Union[str, Path]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``; see the module docstring."""
+    files = collect_files(paths)
+    modules: Dict[str, SourceModule] = {}
+    findings: List[Finding] = []
+
+    for path in files:
+        try:
+            mod = load_module(path)
+        except SyntaxError as error:
+            findings.append(Finding(
+                rule="parse-error",
+                module=path.stem,
+                path=str(path),
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"syntax error: {error.msg}",
+            ))
+            continue
+        modules[mod.module] = mod
+
+    index = PackageIndex(modules)
+    for checker in CHECKERS:
+        findings.extend(checker.check(index))
+
+    for finding in findings:
+        mod = modules.get(finding.module)
+        if mod is not None and mod.is_suppressed(finding.rule, finding.line):
+            finding.suppressed = True
+            finding.justification = mod.justification_for(finding.line)
+
+    findings.sort(key=Finding.sort_key)
+
+    if baseline is not None:
+        apply_baseline(findings, load_baseline(baseline))
+
+    return LintResult(findings=findings, files=len(files))

@@ -1,0 +1,368 @@
+"""hw-*: hardware-realizability checks on configuration literals.
+
+The predictors model concrete SRAM structures; a config literal that no
+index function or bit budget can realise silently turns the storage
+comparison (Table II) into fiction.  Checks:
+
+* ``hw-pow2-table``      — table entry counts must be powers of two
+  (set-index bits are a bit-slice of the hashed PC/history).
+* ``hw-counter-width``   — counter widths must fit their budgeted fields:
+  usefulness/bypass/confidence counters 1–8 bits, distance fields at least
+  7 bits (a 114-entry store window needs ⌈log2 115⌉ = 7), any field at
+  most 64 bits.
+* ``hw-history-geometric`` — TAGE-style ``history_lengths`` series must be
+  increasing and geometric (each length ≈ first·rⁱ), the property the
+  TAGE literature relies on for history coverage.
+* ``hw-kib-budget``      — a ``# repro-lint: budget(<kib> KiB)`` annotation
+  on a ``MascotConfig(...)`` construction is recomputed from the literals
+  with the same arithmetic as :class:`repro.predictors.sizing` and must
+  match within 1 %.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .index import PackageIndex
+from .source import SourceModule
+
+__all__ = ["RULES", "check"]
+
+RULES: Dict[str, str] = {
+    "hw-pow2-table": "predictor table entry count is not a power of two",
+    "hw-counter-width": "counter/field width outside its hardware bit budget",
+    "hw-history-geometric": "TAGE history lengths are not an increasing "
+                            "geometric series",
+    "hw-kib-budget": "declared KiB budget does not match the literal "
+                     "configuration",
+}
+
+#: Keyword / parameter / field names that carry table entry counts.
+TABLE_ENTRY_NAMES = frozenset({
+    "table_entries", "entries_per_table", "ssit_entries", "lfst_entries",
+    "num_entries",
+})
+#: Saturating-counter width names (small update/confidence state).
+COUNTER_WIDTH_NAMES = frozenset({
+    "usefulness_bits", "bypass_bits", "confidence_bits", "counter_bits",
+})
+#: ``*_bits`` names that are capacities or correction terms, not the width
+#: of a single hardware field (``max_bits`` caps a history register;
+#: ``extra_bits`` in PredictorSizing may legitimately be 0 or negative).
+_WIDTH_NAME_EXCLUSIONS = frozenset({
+    "extra_bits", "max_bits", "min_bits", "total_bits", "storage_bits",
+})
+#: The store window the distance field must be able to name (Table I:
+#: Golden Cove's 114-entry store buffer).
+STORE_WINDOW = 114
+_MIN_DISTANCE_BITS = (STORE_WINDOW + 1).bit_length()  # == 7
+#: Relative tolerance for the geometric-series fit (TAGE series are
+#: integer-rounded, e.g. I-Dist's 2, 5, 11, 27, 64 for r ≈ 2.38).
+_GEOMETRIC_TOLERANCE = 0.25
+
+#: Fallback MascotConfig field defaults used when the class body is not
+#: part of the linted tree (e.g. single-file fixtures).  Mirrors
+#: :class:`repro.predictors.configs.MascotConfig`.
+_MASCOT_DEFAULTS: Dict[str, object] = {
+    "table_entries": (512,) * 8,
+    "tag_bits": (16,) * 8,
+    "distance_bits": 7,
+    "usefulness_bits": 3,
+    "bypass_bits": 2,
+}
+
+_FOLD_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+}
+
+
+def const_fold(node: ast.expr):
+    """Evaluate literal expressions like ``(512,) * 8``; None if dynamic."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, (ast.Tuple, ast.List)):
+        items = [const_fold(e) for e in node.elts]
+        if any(item is None for item in items):
+            return None
+        return tuple(items)
+    if isinstance(node, ast.BinOp) and type(node.op) in _FOLD_BINOPS:
+        left = const_fold(node.left)
+        right = const_fold(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return _FOLD_BINOPS[type(node.op)](left, right)
+        except Exception:
+            return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        value = const_fold(node.operand)
+        return -value if isinstance(value, (int, float)) else None
+    return None
+
+
+def _is_pow2(value: int) -> bool:
+    return isinstance(value, int) and value > 0 and value & (value - 1) == 0
+
+
+def _as_int_seq(value) -> Optional[Tuple[int, ...]]:
+    if isinstance(value, int):
+        return (value,)
+    if isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+        return value
+    return None
+
+
+class _HwVisitor(ast.NodeVisitor):
+    def __init__(self, index: PackageIndex, mod: SourceModule):
+        self.index = index
+        self.mod = mod
+        self.findings: List[Finding] = []
+        self._symbol_stack: List[str] = []
+
+    # -------------------------------------------------------------- helpers
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule,
+            module=self.mod.module,
+            path=str(self.mod.path),
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+            symbol=self._symbol(),
+        ))
+
+    def _symbol(self) -> Optional[str]:
+        if not self._symbol_stack:
+            return f"{self.mod.module}:<module>"
+        return f"{self.mod.module}:{'.'.join(self._symbol_stack)}"
+
+    def _check_named_value(self, name: str, node: ast.expr) -> None:
+        """Dispatch width/pow2/geometry checks by configuration name."""
+        if name == "fields_per_entry" and isinstance(node, ast.Dict):
+            self._check_fields_dict(node)
+            return
+        value = const_fold(node)
+        if value is None:
+            return
+        if name in TABLE_ENTRY_NAMES:
+            entries = _as_int_seq(value)
+            if entries is None:
+                return
+            for count in entries:
+                if not _is_pow2(count):
+                    self._emit(
+                        "hw-pow2-table", node,
+                        f"{name} contains {count}, which is not a power of "
+                        "two; set indexing needs a power-of-two table",
+                    )
+        elif name == "history_lengths" or name.endswith("HISTORY_LENGTHS"):
+            lengths = _as_int_seq(value)
+            if lengths is not None:
+                self._check_geometric(name, lengths, node)
+        elif name == "distance_bits":
+            if isinstance(value, int) and not (
+                _MIN_DISTANCE_BITS <= value <= 16
+            ):
+                self._emit(
+                    "hw-counter-width", node,
+                    f"distance_bits = {value} cannot name every store in a "
+                    f"{STORE_WINDOW}-entry store window (needs "
+                    f"{_MIN_DISTANCE_BITS}–16 bits)",
+                )
+        elif name in COUNTER_WIDTH_NAMES:
+            if isinstance(value, int) and not (1 <= value <= 8):
+                self._emit(
+                    "hw-counter-width", node,
+                    f"{name} = {value} is outside the 1–8 bit range of a "
+                    "saturating confidence counter",
+                )
+        elif name.endswith("_bits") and name not in _WIDTH_NAME_EXCLUSIONS:
+            if isinstance(value, int) and not (1 <= value <= 64):
+                self._emit(
+                    "hw-counter-width", node,
+                    f"{name} = {value} is not a realizable field width "
+                    "(1–64 bits)",
+                )
+
+    def _check_fields_dict(self, node: ast.Dict) -> None:
+        for key_node, value_node in zip(node.keys, node.values):
+            key = const_fold(key_node) if key_node is not None else None
+            width = const_fold(value_node)
+            if not isinstance(key, str) or not isinstance(width, int):
+                continue
+            if not (1 <= width <= 64):
+                self._emit(
+                    "hw-counter-width", value_node,
+                    f"field '{key}' is {width} bits; not a realizable "
+                    "field width (1–64)",
+                )
+            elif key == "distance" and width < _MIN_DISTANCE_BITS:
+                self._emit(
+                    "hw-counter-width", value_node,
+                    f"distance field of {width} bits cannot name every "
+                    f"store in a {STORE_WINDOW}-entry store window",
+                )
+            elif key == "counter" and width > 8:
+                self._emit(
+                    "hw-counter-width", value_node,
+                    f"counter field of {width} bits exceeds the 8-bit "
+                    "saturating-counter budget",
+                )
+
+    def _check_geometric(self, name: str, lengths: Sequence[int],
+                         node: ast.AST) -> None:
+        nonzero = [h for h in lengths if h > 0]
+        if list(lengths) != sorted(lengths) or any(h < 0 for h in lengths):
+            self._emit(
+                "hw-history-geometric", node,
+                f"{name} {tuple(lengths)} is not non-decreasing",
+            )
+            return
+        if len(nonzero) != len(set(nonzero)):
+            self._emit(
+                "hw-history-geometric", node,
+                f"{name} {tuple(lengths)} repeats a non-zero history length",
+            )
+            return
+        if len(nonzero) < 3:
+            return
+        first, last = nonzero[0], nonzero[-1]
+        ratio = (last / first) ** (1.0 / (len(nonzero) - 1))
+        for position, length in enumerate(nonzero):
+            expected = first * ratio ** position
+            if abs(length - expected) > _GEOMETRIC_TOLERANCE * expected:
+                self._emit(
+                    "hw-history-geometric", node,
+                    f"{name} {tuple(lengths)} deviates from a geometric "
+                    f"series at {length} (expected ≈{expected:.1f} for "
+                    f"ratio {ratio:.2f})",
+                )
+                return
+
+    # ------------------------------------------------------------- visitors
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg:
+                self._check_named_value(keyword.arg, keyword.value)
+        self.generic_visit(node)
+
+    def _visit_function(self, node) -> None:
+        args = list(getattr(node.args, "posonlyargs", [])) + node.args.args
+        defaults = node.args.defaults
+        for arg, default in zip(args[len(args) - len(defaults):], defaults):
+            self._check_named_value(arg.arg, default)
+        for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if default is not None:
+                self._check_named_value(arg.arg, default)
+        self._symbol_stack.append(node.name)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self._check_named_value(stmt.target.id, stmt.value)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._check_named_value(target.id, stmt.value)
+        self._symbol_stack.append(node.name)
+        self.generic_visit(node)
+        self._symbol_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._symbol_stack:  # module level
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._check_named_value(target.id, node.value)
+            self._check_budget(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._symbol_stack and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                self._check_named_value(node.target.id, node.value)
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------- KiB budgets
+
+    def _check_budget(self, node: ast.Assign) -> None:
+        declared = self.mod.budget_for(node.lineno)
+        if declared is None or not isinstance(node.value, ast.Call):
+            return
+        call = node.value
+        func_name = None
+        if isinstance(call.func, ast.Name):
+            func_name = self.index.resolve(self.mod.module, call.func.id)
+        if func_name is None or not func_name.endswith("MascotConfig"):
+            return
+
+        fields = dict(_MASCOT_DEFAULTS)
+        config_class = self.index.find_class(func_name)
+        if config_class is not None:
+            for field_name in fields:
+                default = config_class.field_defaults.get(field_name)
+                if default is not None:
+                    folded = const_fold(default)
+                    if folded is not None:
+                        fields[field_name] = folded
+        for keyword in call.keywords:
+            if keyword.arg in fields:
+                folded = const_fold(keyword.value)
+                if folded is None:
+                    self._emit(
+                        "hw-kib-budget", node,
+                        f"declared budget {declared} KiB cannot be verified: "
+                        f"{keyword.arg} is not a literal",
+                    )
+                    return
+                fields[keyword.arg] = folded
+
+        entries = _as_int_seq(fields["table_entries"])
+        tags = _as_int_seq(fields["tag_bits"])
+        widths = (fields["distance_bits"], fields["usefulness_bits"],
+                  fields["bypass_bits"])
+        if (entries is None or tags is None or len(entries) != len(tags)
+                or not all(isinstance(w, int) for w in widths)):
+            self._emit(
+                "hw-kib-budget", node,
+                f"declared budget {declared} KiB cannot be verified from "
+                "the literals",
+            )
+            return
+        per_entry_extra = sum(widths)
+        total_bits = sum(
+            count * (tag + per_entry_extra)
+            for count, tag in zip(entries, tags)
+        )
+        computed = total_bits / 8 / 1024
+        if abs(computed - declared) > max(0.01, 0.01 * declared):
+            self._emit(
+                "hw-kib-budget", node,
+                f"declared budget {declared} KiB but the literals give "
+                f"{computed:.4f} KiB ({total_bits} bits)",
+            )
+
+
+def check(index: PackageIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for name in sorted(index.modules):
+        mod = index.modules[name]
+        visitor = _HwVisitor(index, mod)
+        visitor.visit(mod.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,67 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def _status_suffix(finding: Finding) -> str:
+    if finding.suppressed:
+        note = " [suppressed"
+        if finding.justification:
+            note += f": {finding.justification}"
+        return note + "]"
+    if finding.baselined:
+        return " [baselined]"
+    return ""
+
+
+def render_text(findings: List[Finding], files: int,
+                show_suppressed: bool = False) -> str:
+    lines = []
+    active = suppressed = baselined = 0
+    for finding in findings:
+        if finding.suppressed:
+            suppressed += 1
+            if not show_suppressed:
+                continue
+        elif finding.baselined:
+            baselined += 1
+        else:
+            active += 1
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule}: {finding.message}{_status_suffix(finding)}"
+        )
+    summary = (
+        f"repro-lint: {files} files checked, {active} finding"
+        f"{'s' if active != 1 else ''}"
+    )
+    extras = []
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if suppressed:
+        extras.append(f"{suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: List[Finding], files: int) -> str:
+    payload = {
+        "version": 1,
+        "files": files,
+        "summary": {
+            "active": sum(1 for f in findings if f.active),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "baselined": sum(1 for f in findings if f.baselined),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2) + "\n"

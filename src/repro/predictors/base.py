@@ -115,13 +115,21 @@ class MDPredictor(abc.ABC):
     #: Human-readable name used in figures and reports.
     name: str = "predictor"
 
+    #: Whether this predictor is an oracle that may read the trace's
+    #: ground-truth annotations at predict time.  ``repro lint``'s
+    #: oracle-leak rule keys on this marker: any ``predict()`` path of a
+    #: class without it that reads ``uop.bypass`` / ``uop.store_distance``
+    #: / ``uop.dep_store_seq`` / ``uop.has_dependence`` fails CI.
+    is_oracle: bool = False
+
     @abc.abstractmethod
     def predict(self, uop: MicroOp) -> Prediction:
         """Predict the given dynamic load.
 
         Implementations must only read ``uop.pc`` (and ``uop.seq`` for
         bookkeeping); the ground-truth annotation fields are reserved for
-        the oracle predictors.
+        the oracle predictors (``is_oracle = True``), and the
+        ``repro lint`` static checker enforces this machine-checkably.
         """
 
     @abc.abstractmethod

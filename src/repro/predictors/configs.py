@@ -108,9 +108,12 @@ class MascotConfig:
 
 
 #: The paper's default MASCOT (Sec. IV-B): 14 KiB.
+# repro-lint: budget(14.0 KiB)
 MASCOT_DEFAULT = MascotConfig()
 
 #: MASCOT-OPT (Sec. VI-D): resized tables and compensating tag widths.
+#: (The paper rounds its 11.8125 KiB down to "11.75 KB" in Table II.)
+# repro-lint: budget(11.8125 KiB)
 MASCOT_OPT = MascotConfig(
     name="mascot-opt",
     table_entries=(1024, 512, 512, 512, 256, 256, 256, 128),

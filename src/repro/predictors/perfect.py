@@ -26,6 +26,10 @@ class PerfectMDP(MDPredictor):
 
     name = "perfect-mdp"
 
+    #: Grants this class (and subclasses) the right to read ground-truth
+    #: trace annotations at predict time; checked by ``repro lint``.
+    is_oracle = True
+
     #: Marks predictions as oracle-conservative for the timing model.
     conservative = True
 

@@ -175,6 +175,9 @@ class TraceGenerator:
                 address = inst.pair.load_address(self._iteration)
                 size = inst.pair.load_size
             else:
+                # Identity-keyed per-generator cursor dict: never ordered
+                # or serialised, so the process-specific ids are safe.
+                # repro-lint: allow(det-id) -- identity-only dict key
                 cursor = self._cursors.get(id(inst), 0)
                 if inst.stream_random:
                     offset = self._rng.randrange(
@@ -182,7 +185,7 @@ class TraceGenerator:
                     ) * 8
                 else:
                     offset = (cursor * inst.stream_stride) % self.profile.footprint
-                self._cursors[id(inst)] = cursor + 1
+                self._cursors[id(inst)] = cursor + 1  # repro-lint: allow(det-id)
                 address = inst.stream_start + offset
                 size = 8
             distance, store, bypass = self._tracker.find_dependence(

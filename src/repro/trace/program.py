@@ -18,6 +18,12 @@ genuinely non-dependent, not merely dependent at a longer distance.
 
 from __future__ import annotations
 
+# repro-lint: allow-file(det-id) -- StaticInst objects are mutable (hence
+# unhashable-by-value) and id() keys the position/pairing dicts of a single
+# build_program() pass.  The ids are compared for identity only: iteration
+# always runs over the `placed`/`stores` *lists*, so no result, ordering or
+# cache key ever depends on the process-specific id values.
+
 import enum
 import random
 from dataclasses import dataclass, field

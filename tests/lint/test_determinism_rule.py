@@ -1,0 +1,215 @@
+"""det-*: unseeded RNG, wall-clock/entropy, id()/hash(), set order, env."""
+
+from __future__ import annotations
+
+
+class TestUnseededRng:
+    def test_random_module_calls_flagged(self, box):
+        box.write("cell.py", """
+        import random
+
+
+        def run_cell():
+            return random.random() < 0.5
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_random_constructor_without_seed_flagged(self, box):
+        box.write("cell.py", """
+        import random
+
+
+        def make():
+            return random.Random()
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_seeded_constructor_is_clean(self, box):
+        box.write("cell.py", """
+        import random
+
+
+        def make(seed):
+            return random.Random(seed)
+        """)
+        assert box.active_rules() == []
+
+    def test_numpy_default_rng_without_seed_flagged(self, box):
+        box.write("cell.py", """
+        import numpy as np
+
+
+        def make():
+            return np.random.default_rng()
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_numpy_default_rng_with_seed_is_clean(self, box):
+        box.write("cell.py", """
+        import numpy as np
+
+
+        def make(seed):
+            return np.random.default_rng(seed)
+        """)
+        assert box.active_rules() == []
+
+    def test_method_on_local_rng_instance_is_clean(self, box):
+        # rng.random() on a passed-in generator is fine: the seed is the
+        # caller's responsibility, and that call chain is deterministic.
+        box.write("cell.py", """
+        def run_cell(rng):
+            return rng.random() < 0.5
+        """)
+        assert box.active_rules() == []
+
+
+class TestClockAndEntropy:
+    def test_time_calls_flagged(self, box):
+        box.write("mod.py", """
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+        assert box.active_rules() == ["det-time"]
+
+    def test_urandom_flagged(self, box):
+        box.write("mod.py", """
+        import os
+
+
+        def token():
+            return os.urandom(8)
+        """)
+        assert box.active_rules() == ["det-entropy"]
+
+    def test_uuid4_flagged(self, box):
+        box.write("mod.py", """
+        import uuid
+
+
+        def fresh():
+            return uuid.uuid4()
+        """)
+        assert box.active_rules() == ["det-entropy"]
+
+
+class TestIdentityAndHash:
+    def test_id_flagged(self, box):
+        box.write("mod.py", """
+        def key(obj):
+            return id(obj)
+        """)
+        assert box.active_rules() == ["det-id"]
+
+    def test_builtin_hash_flagged(self, box):
+        box.write("mod.py", """
+        def bucket(name, n):
+            return hash(name) % n
+        """)
+        assert box.active_rules() == ["det-hash"]
+
+    def test_dunder_hash_definition_is_clean(self, box):
+        # Defining __hash__ (and delegating inside it) is legitimate.
+        box.write("mod.py", """
+        class Key:
+            def __init__(self, pc):
+                self.pc = pc
+
+            def __hash__(self):
+                return hash(self.pc)
+        """)
+        assert box.active_rules() == []
+
+
+class TestSetOrder:
+    def test_iterating_set_literal_flagged(self, box):
+        box.write("mod.py", """
+        def emit(a, b):
+            out = []
+            for item in {a, b}:
+                out.append(item)
+            return out
+        """)
+        assert box.active_rules() == ["det-set-order"]
+
+    def test_iterating_named_set_flagged(self, box):
+        box.write("mod.py", """
+        def emit(items):
+            seen = set(items)
+            return [x * 2 for x in seen]
+        """)
+        assert box.active_rules() == ["det-set-order"]
+
+    def test_sorted_set_is_clean(self, box):
+        box.write("mod.py", """
+        def emit(items):
+            seen = set(items)
+            return [x * 2 for x in sorted(seen)]
+        """)
+        assert box.active_rules() == []
+
+    def test_membership_only_set_is_clean(self, box):
+        box.write("mod.py", """
+        def dedupe(items):
+            seen = set()
+            out = []
+            for item in items:
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+            return out
+        """)
+        assert box.active_rules() == []
+
+
+class TestEnvReads:
+    def test_environ_read_flagged(self, box):
+        box.write("mod.py", """
+        import os
+
+
+        def jobs():
+            return int(os.environ.get("REPRO_JOBS", "1"))
+        """)
+        assert box.active_rules() == ["det-env"]
+
+    def test_getenv_flagged(self, box):
+        box.write("mod.py", """
+        import os
+
+
+        def jobs():
+            return os.getenv("REPRO_JOBS")
+        """)
+        assert box.active_rules() == ["det-env"]
+
+    def test_sanctioned_module_is_exempt(self, box):
+        # The result cache is the one sanctioned env surface; mirror its
+        # package path inside the fixture tree.
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/result_cache.py", """
+        import os
+
+
+        def cache_dir():
+            return os.environ.get("REPRO_CACHE_DIR", ".cache")
+        """)
+        assert box.active_rules() == []
+
+
+class TestSuppression:
+    def test_allow_pragma_suppresses_det_finding(self, box):
+        box.write("mod.py", """
+        def key(obj):
+            # repro-lint: allow(det-id) -- per-process memo, never persisted
+            return id(obj)
+        """)
+        findings = box.lint()
+        assert [f.rule for f in findings] == ["det-id"]
+        assert findings[0].suppressed
+        assert findings[0].justification == "per-process memo, never persisted"
+        assert box.active_rules() == []

@@ -1,0 +1,170 @@
+"""hw-*: power-of-two tables, counter widths, geometric history, KiB budgets."""
+
+from __future__ import annotations
+
+
+class TestPow2Tables:
+    def test_non_pow2_entries_keyword_flagged(self, box):
+        box.write("cfg.py", """
+        def build(make):
+            return make(table_entries=1000)
+        """)
+        assert box.active_rules() == ["hw-pow2-table"]
+
+    def test_pow2_entries_keyword_is_clean(self, box):
+        box.write("cfg.py", """
+        def build(make):
+            return make(table_entries=1024)
+        """)
+        assert box.active_rules() == []
+
+    def test_class_default_flagged(self, box):
+        box.write("cfg.py", """
+        class Config:
+            ssit_entries: int = 100
+        """)
+        assert box.active_rules() == ["hw-pow2-table"]
+
+    def test_function_default_flagged(self, box):
+        box.write("cfg.py", """
+        def make_table(num_entries=48):
+            return [None] * num_entries
+        """)
+        assert box.active_rules() == ["hw-pow2-table"]
+
+
+class TestCounterWidths:
+    def test_over_wide_counter_flagged(self, box):
+        box.write("cfg.py", """
+        class Config:
+            usefulness_bits: int = 9
+        """)
+        assert box.active_rules() == ["hw-counter-width"]
+
+    def test_zero_width_counter_flagged(self, box):
+        box.write("cfg.py", """
+        def build(make):
+            return make(confidence_bits=0)
+        """)
+        assert box.active_rules() == ["hw-counter-width"]
+
+    def test_sane_counter_is_clean(self, box):
+        box.write("cfg.py", """
+        class Config:
+            bypass_bits: int = 2
+            confidence_bits: int = 3
+        """)
+        assert box.active_rules() == []
+
+    def test_excluded_names_are_not_widths(self, box):
+        # Capacities and correction terms, not hardware field widths.
+        box.write("cfg.py", """
+        class Config:
+            max_bits: int = 1024
+            extra_bits: int = 0
+        """)
+        assert box.active_rules() == []
+
+
+class TestDistanceBits:
+    def test_too_narrow_distance_field_flagged(self, box):
+        # A 114-entry store window needs ceil(log2(115)) = 7 distance bits.
+        box.write("cfg.py", """
+        class Config:
+            distance_bits: int = 4
+        """)
+        assert box.active_rules() == ["hw-counter-width"]
+
+    def test_seven_bit_distance_is_clean(self, box):
+        box.write("cfg.py", """
+        class Config:
+            distance_bits: int = 7
+        """)
+        assert box.active_rules() == []
+
+
+class TestGeometricHistory:
+    def test_linear_history_series_flagged(self, box):
+        box.write("cfg.py", """
+        HISTORY_LENGTHS = (10, 20, 30, 40)
+        """)
+        assert box.active_rules() == ["hw-history-geometric"]
+
+    def test_geometric_series_is_clean(self, box):
+        box.write("cfg.py", """
+        HISTORY_LENGTHS = (2, 5, 11, 27, 64)
+        """)
+        assert box.active_rules() == []
+
+
+class TestFieldsPerEntry:
+    def test_dict_literal_checked(self, box):
+        box.write("cfg.py", """
+        fields_per_entry = {
+            "tag": 12,
+            "distance": 4,
+        }
+        """)
+        assert box.active_rules() == ["hw-counter-width"]
+
+    def test_sane_dict_literal_is_clean(self, box):
+        box.write("cfg.py", """
+        fields_per_entry = {
+            "tag": 12,
+            "distance": 7,
+            "usefulness": 2,
+        }
+        """)
+        assert box.active_rules() == []
+
+
+class TestKibBudget:
+    # Mirrors repro.predictors.configs.MascotConfig's field shapes:
+    # per-table entry/tag tuples plus scalar per-entry widths.
+    MASCOT_CONFIG = """\
+        class MascotConfig:
+            table_entries: tuple = (512, 512)
+            tag_bits: tuple = (16, 16)
+            distance_bits: int = 7
+            usefulness_bits: int = 3
+            bypass_bits: int = 2
+        """
+
+    def test_matching_budget_is_clean(self, box):
+        # 2 tables x 512 entries x (16 + 7 + 3 + 2) bits = 3.5 KiB.
+        box.write("cfg.py", self.MASCOT_CONFIG + """
+
+        # repro-lint: budget(3.5 KiB)
+        DEFAULT = MascotConfig()
+        """)
+        assert box.active_rules() == []
+
+    def test_mismatched_budget_flagged(self, box):
+        box.write("cfg.py", self.MASCOT_CONFIG + """
+
+        # repro-lint: budget(14.0 KiB)
+        DEFAULT = MascotConfig()
+        """)
+        assert box.active_rules() == ["hw-kib-budget"]
+
+    def test_call_kwargs_override_class_defaults(self, box):
+        # 2 tables x 1024 entries x 28 bits = 7.0 KiB.
+        box.write("cfg.py", self.MASCOT_CONFIG + """
+
+        # repro-lint: budget(7.0 KiB)
+        BIG = MascotConfig(table_entries=(1024, 1024))
+        """)
+        assert box.active_rules() == []
+
+
+class TestSuppression:
+    def test_allow_pragma_suppresses_hw_finding(self, box):
+        box.write("cfg.py", """
+        def build(make):
+            # repro-lint: allow(hw-pow2-table) -- idealised capacity sweep
+            return make(table_entries=1000)
+        """)
+        findings = box.lint()
+        assert [f.rule for f in findings] == ["hw-pow2-table"]
+        assert findings[0].suppressed
+        assert box.active_rules() == []

@@ -75,6 +75,29 @@ class TestMicroOpValidation:
         assert uop.is_store
         assert not uop.has_dependence
 
+    def test_dep_store_seq_on_nondependent_load_rejected(self):
+        # A stray store pointer on a load whose bypass class says "no
+        # dependence" would let an oracle-ish annotation leak through.
+        with pytest.raises(ValueError, match="non-dependence"):
+            MicroOp(5, 0x400000, OpClass.LOAD, address=0x1000, size=8,
+                    store_distance=0, dep_store_seq=3,
+                    bypass=BypassClass.NONE)
+
+    def test_dep_store_seq_on_non_load_rejected(self):
+        for op, size in ((OpClass.STORE, 8), (OpClass.ALU, 0)):
+            with pytest.raises(ValueError, match="non-load"):
+                MicroOp(5, 0x400000, op, address=0x1000, size=size,
+                        dep_store_seq=3)
+
+    def test_store_distance_on_non_load_rejected(self):
+        with pytest.raises(ValueError, match="non-load"):
+            MicroOp(5, 0x400000, OpClass.STORE, address=0x1000, size=8,
+                    store_distance=2)
+
+    def test_bypass_class_on_non_load_rejected(self):
+        with pytest.raises(ValueError, match="non-load"):
+            MicroOp(5, 0x400000, OpClass.ALU, bypass=BypassClass.DIRECT)
+
 
 def test_max_store_distance_matches_field_width():
     """The 7-bit distance field (Fig. 6) caps at 127."""
