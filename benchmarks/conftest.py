@@ -15,6 +15,14 @@ Python while a full regeneration remains one command away:
   ~/.cache/repro-mascot), anything else is used as the directory.  A warm
   cache makes a figure regeneration skip every unchanged simulation.
 
+Fault tolerance (see docs/resilience.md; all unset by default, which
+keeps the historical fail-fast behaviour):
+
+* ``REPRO_BENCH_TIMEOUT``    — per-cell wall-clock timeout in seconds.
+* ``REPRO_BENCH_RETRIES``    — extra attempts per failed cell.
+* ``REPRO_BENCH_KEEP_GOING`` — set to 1 to mark exhausted cells as failed
+  and complete the rest of the grid instead of aborting the bench.
+
 Run:  pytest benchmarks/ --benchmark-only -s
 """
 
@@ -55,9 +63,28 @@ def bench_cache():
     return value
 
 
+def bench_policy():
+    """ResiliencePolicy from REPRO_BENCH_*, or None when all are unset."""
+    timeout = os.environ.get("REPRO_BENCH_TIMEOUT")
+    retries = os.environ.get("REPRO_BENCH_RETRIES")
+    keep_going = os.environ.get("REPRO_BENCH_KEEP_GOING") == "1"
+    if timeout is None and retries is None and not keep_going:
+        return None
+    from repro.experiments import ResiliencePolicy
+    return ResiliencePolicy(
+        cell_timeout=float(timeout) if timeout else None,
+        retries=int(retries) if retries else 0,
+        fail_fast=not keep_going,
+    )
+
+
 def suite_kwargs():
-    """``jobs=``/``cache=`` keywords for the suite-backed figure calls."""
-    return {"jobs": bench_jobs(), "cache": bench_cache()}
+    """``jobs=``/``cache=``/``policy=`` keywords for the figure calls."""
+    kwargs = {"jobs": bench_jobs(), "cache": bench_cache()}
+    policy = bench_policy()
+    if policy is not None:
+        kwargs["policy"] = policy
+    return kwargs
 
 
 @pytest.fixture

@@ -16,6 +16,13 @@ can be reproduced without writing Python:
 * ``lint``      — static simulator-correctness checks (oracle isolation,
   determinism/cache safety, hardware realizability; see
   :mod:`repro.lint`).
+* ``doctor``    — environment health checks (cache/journal writability,
+  worker spawn, lint baseline; see :mod:`repro.doctor`).
+
+Fault tolerance: the sweep commands accept ``--cell-timeout``,
+``--retries``, ``--keep-going`` and ``--resume RUN_ID`` (see
+docs/resilience.md); runs are journaled by default for crash recovery
+(``--no-journal`` disables).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from .core.config import GOLDEN_COVE, LION_COVE
 from .experiments import figures
 from .lint import cli as lint_cli
 from .experiments.reporting import render_table
+from .experiments.resilience import CellFailure, ResiliencePolicy
 from .experiments.runner import default_cache, run_timing
 from .experiments.suite import (
     PREDICTOR_FACTORIES,
@@ -58,8 +66,43 @@ def _cache_arg(args):
     return True
 
 
+def _journal_arg(args):
+    """Map --no-journal / --journal-dir onto the journal parameter.
+
+    Journaling defaults to on: a crashed or interrupted sweep can always
+    be resumed from its run id (printed on stderr at the end of the run).
+    """
+    if args.no_journal:
+        return None
+    if args.journal_dir is not None:
+        return args.journal_dir
+    return True
+
+
+def _policy_arg(args):
+    """Build the ResiliencePolicy from --cell-timeout/--retries/--keep-going.
+
+    Returns None (the historical fail-fast default) when no fault-tolerance
+    flag was given, so default CLI behaviour is unchanged.
+    """
+    if (args.cell_timeout is None and args.retries == 0
+            and not args.keep_going):
+        return None
+    return ResiliencePolicy(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        fail_fast=not args.keep_going,
+    )
+
+
 def _suite_kwargs(args):
-    return {"jobs": args.jobs, "cache": _cache_arg(args)}
+    return {
+        "jobs": args.jobs,
+        "cache": _cache_arg(args),
+        "policy": _policy_arg(args),
+        "journal": _journal_arg(args),
+        "resume": args.resume,
+    }
 
 
 _FIGURES = {
@@ -94,6 +137,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
 def _cache_directory(text: str) -> str:
     if os.path.exists(text) and not os.path.isdir(text):
         raise argparse.ArgumentTypeError(f"{text!r} exists and is not a "
@@ -123,6 +180,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", type=_cache_directory, default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-mascot)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock timeout (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=_non_negative_int, default=0, metavar="N",
+        help="extra attempts per failed cell, with exponential backoff "
+             "(default: 0)",
+    )
+    fail_mode = parser.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the sweep on the first exhausted cell (default)",
+    )
+    fail_mode.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        help="mark exhausted cells as failed and complete the rest of "
+             "the grid",
+    )
+    parser.set_defaults(keep_going=False)
+    parser.add_argument(
+        "--resume", action="append", default=None, metavar="RUN_ID",
+        help="restore completed cells from this journaled run and "
+             "re-dispatch only the rest (repeatable; later runs win)",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the append-only run journal",
+    )
+    parser.add_argument(
+        "--journal-dir", type=_cache_directory, default=None, metavar="DIR",
+        help="run-journal directory (default: $REPRO_JOURNAL_DIR or "
+             "<cache-dir>/journals)",
     )
 
 
@@ -179,6 +271,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_cli.add_arguments(lint)
 
+    doctor = sub.add_parser(
+        "doctor",
+        help="check the environment (cache/journal writability, worker "
+             "spawn, lint baseline)",
+    )
+    doctor.add_argument("--cache-dir", type=_cache_directory, default=None,
+                        metavar="DIR")
+    doctor.add_argument("--journal-dir", type=_cache_directory, default=None,
+                        metavar="DIR")
+
     return parser
 
 
@@ -196,17 +298,25 @@ def _cmd_simulate(args) -> int:
 def _cmd_compare(args) -> int:
     suite = run_ipc_suite(args.predictors, args.benchmarks, args.uops,
                           config=_CORES[args.core], **_suite_kwargs(args))
-    benches = list(next(iter(suite.ipc.values())))
+    benches = suite.benchmarks or list(next(iter(suite.ipc.values())))
+    normalised = {p: suite.normalised(p) for p in args.predictors}
     rows = []
     for bench in benches:
         rows.append([bench] + [
-            f"{suite.normalised(p)[bench]:.4f}" for p in args.predictors
+            (f"{normalised[p][bench]:.4f}" if bench in normalised[p]
+             else "FAIL")
+            for p in args.predictors
         ])
     rows.append(["geomean"] + [
         f"{suite.geomean(p):.4f}" for p in args.predictors
     ])
     print(render_table(["benchmark", *args.predictors], rows,
                        title="IPC normalised to perfect MDP"))
+    if suite.failures:
+        for name, per_bench in sorted(suite.failures.items()):
+            for failure in per_bench.values():
+                print(f"FAILED {failure.describe()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -214,18 +324,27 @@ def _cmd_accuracy(args) -> int:
     results = run_accuracy_suite(args.predictors, args.benchmarks, args.uops,
                                  **_suite_kwargs(args))
     rows = []
+    failures = []
     for name, per_bench in results.items():
-        total_fd = sum(r.accuracy.false_dependencies
-                       for r in per_bench.values())
-        total_se = sum(r.accuracy.speculative_errors
-                       for r in per_bench.values())
-        total = sum(r.accuracy.mispredictions for r in per_bench.values())
+        runs = []
+        for run in per_bench.values():
+            if isinstance(run, CellFailure):
+                failures.append(run)
+            else:
+                runs.append(run)
+        total_fd = sum(r.accuracy.false_dependencies for r in runs)
+        total_se = sum(r.accuracy.speculative_errors for r in runs)
+        total = sum(r.accuracy.mispredictions for r in runs)
         rows.append([name, total, total_fd, total_se])
     print(render_table(
         ["predictor", "mispredictions", "false dependencies",
          "speculative errors"],
         rows, title="Prediction-accuracy sweep (Fig. 8 taxonomy)",
     ))
+    if failures:
+        for failure in failures:
+            print(f"FAILED {failure.describe()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -281,6 +400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_validate(args)
     if args.command == "lint":
         return lint_cli.run(args)
+    if args.command == "doctor":
+        from .doctor import run_doctor
+        return run_doctor(cache_dir=args.cache_dir,
+                          journal_dir=args.journal_dir)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -1,0 +1,124 @@
+"""Environment health checks behind ``repro doctor``.
+
+A sweep that fails hours in because the cache directory is read-only, or
+worker processes cannot spawn, wastes far more than the seconds these
+checks take up front.  ``repro doctor`` probes every piece of machinery a
+fault-tolerant suite run relies on and prints one ``ok``/``FAIL`` line per
+check with an actionable message; the exit status is non-zero when any
+check fails.
+
+Checks:
+
+* result-cache directory is creatable and writable,
+* run-journal directory is creatable and writable,
+* a worker process can be spawned and returns a result (the parallel
+  engine's substrate),
+* the lint baseline, when present, parses,
+* the trace generator produces a benchmark trace (simulator smoke test).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["run_doctor", "worker_probe"]
+
+#: Generous ceiling for the worker-spawn probe; a healthy pool answers in
+#: well under a second, and a hang here is exactly what doctor must catch.
+_SPAWN_TIMEOUT = 30.0
+
+
+def worker_probe(value: int) -> int:
+    """Module-level doubling function: picklable under every start method."""
+    return 2 * value
+
+
+def _check_cache_dir(cache_dir: Optional[str]) -> Tuple[bool, str]:
+    from .experiments.result_cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    error = cache.probe_writable()
+    if error is not None:
+        return False, (f"cache dir {cache.directory} not writable: {error} "
+                       "— set $REPRO_CACHE_DIR or pass --cache-dir")
+    return True, f"cache dir writable: {cache.directory}"
+
+
+def _check_journal_dir(journal_dir: Optional[str]) -> Tuple[bool, str]:
+    from .experiments.journal import RunJournal
+
+    journal = RunJournal(journal_dir)
+    error = journal.probe_writable()
+    if error is not None:
+        return False, (f"journal dir {journal.directory} not writable: "
+                       f"{error} — set $REPRO_JOURNAL_DIR or pass "
+                       "--journal-dir")
+    return True, f"journal dir writable: {journal.directory}"
+
+
+def _check_worker_spawn() -> Tuple[bool, str]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            result = pool.submit(worker_probe, 21).result(
+                timeout=_SPAWN_TIMEOUT)
+    except Exception as error:  # noqa: BLE001 — any spawn failure mode
+        return False, (f"worker spawn failed: {type(error).__name__}: "
+                       f"{error} — parallel execution (--jobs) will not "
+                       "work on this host")
+    if result != 42:
+        return False, f"worker returned {result!r}, expected 42"
+    return True, "worker spawn ok"
+
+
+def _check_lint_baseline() -> Tuple[bool, str]:
+    from pathlib import Path
+
+    from .lint.baseline import load_baseline
+    from .lint.cli import DEFAULT_BASELINE
+
+    path = Path(DEFAULT_BASELINE)
+    if not path.exists():
+        return True, f"lint baseline absent ({path}): nothing to check"
+    try:
+        baseline = load_baseline(path)
+    except Exception as error:  # noqa: BLE001 — report any parse failure
+        return False, (f"lint baseline {path} unreadable: {error} — "
+                       "regenerate with 'repro lint --update-baseline'")
+    return True, f"lint baseline ok: {sum(baseline.values())} entries"
+
+
+def _check_simulator() -> Tuple[bool, str]:
+    from .trace import generate_trace
+
+    try:
+        trace = generate_trace("exchange2", 64)
+    except Exception as error:  # noqa: BLE001 — smoke test, report anything
+        return False, f"trace generation failed: {type(error).__name__}: " \
+                      f"{error}"
+    return True, f"simulator smoke ok: generated {len(trace)} micro-ops"
+
+
+def run_doctor(cache_dir: Optional[str] = None,
+               journal_dir: Optional[str] = None) -> int:
+    """Run every check, print one line each; 0 iff all passed."""
+    checks: List[Tuple[str, Callable[[], Tuple[bool, str]]]] = [
+        ("cache", lambda: _check_cache_dir(cache_dir)),
+        ("journal", lambda: _check_journal_dir(journal_dir)),
+        ("workers", _check_worker_spawn),
+        ("lint", _check_lint_baseline),
+        ("simulator", _check_simulator),
+    ]
+    failures = 0
+    for name, check in checks:
+        passed, message = check()
+        status = "ok  " if passed else "FAIL"
+        print(f"{status} [{name}] {message}")
+        if not passed:
+            failures += 1
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0

@@ -15,8 +15,22 @@ from .figures import (
     table2_sizes,
 )
 from .export import export_csv, to_csv_rows
-from .parallel import CellSpec, compute_cell, execute_cells, resolve_cache
+from .journal import JournalState, RunJournal, default_journal_dir
+from .parallel import (
+    CellSpec,
+    compute_cell,
+    execute_cells,
+    resolve_cache,
+    resolve_journal,
+)
 from .reporting import csv_lines, format_percent, render_series, render_table
+from .resilience import (
+    CellExecutionError,
+    CellFailure,
+    CellTimeoutError,
+    FailureKind,
+    ResiliencePolicy,
+)
 from .result_cache import ResultCache, cell_key, default_cache_dir
 from .runner import (
     DEFAULT_TRACE_LENGTH,
@@ -55,6 +69,15 @@ __all__ = [
     "compute_cell",
     "execute_cells",
     "resolve_cache",
+    "resolve_journal",
+    "CellExecutionError",
+    "CellFailure",
+    "CellTimeoutError",
+    "FailureKind",
+    "ResiliencePolicy",
+    "JournalState",
+    "RunJournal",
+    "default_journal_dir",
     "ResultCache",
     "cell_key",
     "default_cache_dir",

@@ -26,10 +26,14 @@ def to_csv_rows(result) -> List[List[object]]:
     """Flatten a figure result into header+rows (dispatch on type)."""
     if isinstance(result, IpcFigureResult):
         rows: List[List[object]] = [["benchmark", *result.predictors]]
-        benches = list(next(iter(result.suite.ipc.values())).keys())
+        benches = result.suite.benchmarks or list(
+            next(iter(result.suite.ipc.values())).keys())
+        normalised = {p: result.normalised(p) for p in result.predictors}
         for bench in benches:
+            # A failed cell exports as an empty field, not a crash.
             rows.append([bench] + [
-                round(result.normalised(p)[bench], 6)
+                (round(normalised[p][bench], 6)
+                 if bench in normalised[p] else "")
                 for p in result.predictors
             ])
         rows.append(["geomean"] + [

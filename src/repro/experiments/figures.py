@@ -22,8 +22,15 @@ from ..predictors.configs import MASCOT_DEFAULT, MASCOT_OPT, mascot_opt_reduced_
 from ..predictors.sizing import PredictorSizing, table2_rows
 from ..trace.profiles import suite_names
 from ..trace.uop import BypassClass
-from .parallel import CacheSpec, CellSpec, execute_cells
+from .parallel import (
+    CacheSpec,
+    CellSpec,
+    JournalSpec,
+    ResumeSpec,
+    execute_cells,
+)
 from .reporting import format_percent, render_table
+from .resilience import CellFailure, ResiliencePolicy
 from .runner import DEFAULT_TRACE_LENGTH, default_cache
 from .suite import IpcSuiteResult, run_accuracy_suite, run_ipc_suite
 
@@ -161,12 +168,17 @@ class IpcFigureResult:
         return self.suite.geomean(predictor)
 
     def render(self) -> str:
-        benches = list(next(iter(self.suite.ipc.values())).keys())
+        # Prefer the requested benchmark order (present even when cells
+        # failed); fall back to the grid keys for pre-resilience results.
+        benches = self.suite.benchmarks or list(
+            next(iter(self.suite.ipc.values())).keys())
+        normalised = {p: self.suite.normalised(p) for p in self.predictors}
         rows = []
         for bench in benches:
             row = [bench]
             for predictor in self.predictors:
-                row.append(f"{self.suite.normalised(predictor)[bench]:.4f}")
+                value = normalised[predictor].get(bench)
+                row.append("FAIL" if value is None else f"{value:.4f}")
             rows.append(row)
         geo = ["geomean"] + [
             f"{self.suite.geomean(p):.4f}" for p in self.predictors
@@ -182,11 +194,15 @@ def fig7_ipc_full(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> IpcFigureResult:
     """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
     predictors = ["nosq", "phast", "mascot"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
-                          jobs=jobs, cache=cache)
+                          jobs=jobs, cache=cache, policy=policy,
+                          journal=journal, resume=resume)
     return IpcFigureResult(
         title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
         suite=suite, predictors=predictors,
@@ -198,11 +214,15 @@ def fig9_ipc_mdp_only(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> IpcFigureResult:
     """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
     predictors = ["store-sets", "phast", "mascot-mdp"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
-                          jobs=jobs, cache=cache)
+                          jobs=jobs, cache=cache, policy=policy,
+                          journal=journal, resume=resume)
     return IpcFigureResult(
         title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
         suite=suite, predictors=predictors,
@@ -245,16 +265,22 @@ def fig8_mispredictions(
     predictors: Sequence[str] = ("nosq", "phast", "mascot"),
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig8Result:
     """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
     results = run_accuracy_suite(list(predictors), benchmarks, num_uops,
-                                 jobs=jobs, cache=cache)
+                                 jobs=jobs, cache=cache, policy=policy,
+                                 journal=journal, resume=resume)
     totals: Dict[str, int] = {}
     false_deps: Dict[str, int] = {}
     spec_errors: Dict[str, int] = {}
     for name, per_bench in results.items():
         merged = AccuracyStats()
         for run in per_bench.values():
+            if isinstance(run, CellFailure):
+                continue
             merged.merge(run.accuracy)
         totals[name] = merged.mispredictions
         false_deps[name] = merged.false_dependencies
@@ -297,13 +323,19 @@ def fig10_prediction_mix(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig10Result:
     """MASCOT's prediction and misprediction type mixes (Fig. 10)."""
     results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
-                                 jobs=jobs, cache=cache)["mascot"]
+                                 jobs=jobs, cache=cache, policy=policy,
+                                 journal=journal, resume=resume)["mascot"]
     prediction_mix: Dict[str, Dict[str, float]] = {}
     misprediction_mix: Dict[str, Dict[str, float]] = {}
     for bench, run in results.items():
+        if isinstance(run, CellFailure):
+            continue
         acc = run.accuracy
         total = max(acc.loads, 1)
         prediction_mix[bench] = {
@@ -359,17 +391,24 @@ def fig11_ablation(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig11Result:
     """MASCOT vs the no-non-dependence TAGE ablation (Fig. 11)."""
     predictors = ["mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"]
     ipc = run_ipc_suite(predictors, benchmarks, num_uops,
-                        jobs=jobs, cache=cache)
+                        jobs=jobs, cache=cache, policy=policy,
+                        journal=journal, resume=resume)
     accuracy = run_accuracy_suite(["mascot", "tage-no-nd"], benchmarks,
-                                  num_uops, jobs=jobs, cache=cache)
+                                  num_uops, jobs=jobs, cache=cache,
+                                  policy=policy, journal=journal,
+                                  resume=resume)
     false_deps: Dict[str, int] = {}
     for name, per_bench in accuracy.items():
         false_deps[name] = sum(
             run.accuracy.false_dependencies for run in per_bench.values()
+            if not isinstance(run, CellFailure)
         )
     return Fig11Result(ipc=ipc, false_dependencies=false_deps)
 
@@ -402,13 +441,17 @@ def fig12_future_architectures(
     cores: Sequence[CoreConfig] = (GOLDEN_COVE, LION_COVE),
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig12Result:
     """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
     predictors = ["perfect-mdp-smb", "mascot"]
     geomeans: Dict[str, Dict[str, float]] = {}
     for core in cores:
         suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core,
-                              jobs=jobs, cache=cache)
+                              jobs=jobs, cache=cache, policy=policy,
+                              journal=journal, resume=resume)
         geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
     return Fig12Result(geomeans=geomeans)
 
@@ -439,14 +482,21 @@ def fig13_table_usage(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig13Result:
     """Share of predictions served by each MASCOT table (Fig. 13)."""
     # warmup=0: every prediction of the run counts, as the figure's
     # per-table shares are a property of the whole replay.
     results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
-                                 warmup=0, jobs=jobs, cache=cache)["mascot"]
+                                 warmup=0, jobs=jobs, cache=cache,
+                                 policy=policy, journal=journal,
+                                 resume=resume)["mascot"]
     totals: Optional[List[int]] = None
     for run in results.values():
+        if isinstance(run, CellFailure):
+            continue
         counts = run.predictions_per_table
         if totals is None:
             totals = list(counts)
@@ -493,6 +543,9 @@ def fig14_f1_ranking(
     period_loads: int = 20_000,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig14Result:
     """Rank-ordered per-entry F1 scores, averaged over benchmarks (Fig. 14)."""
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
@@ -502,7 +555,11 @@ def fig14_f1_ranking(
         for bench in benchmarks
     ]
     profiles: List[RankedF1Profile] = []
-    for result in execute_cells(cells, jobs=jobs, cache=cache):
+    for result in execute_cells(cells, jobs=jobs, cache=cache,
+                                policy=policy, journal=journal,
+                                resume=resume):
+        if isinstance(result, CellFailure):
+            continue
         assert result.f1_profile is not None
         profiles.append(result.f1_profile)
     return Fig14Result(profile=merge_profiles(profiles))
@@ -533,12 +590,16 @@ def fig15_mascot_opt(
     num_uops: int = DEFAULT_TRACE_LENGTH,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Fig15Result:
     """Area-optimised MASCOT variants: IPC delta vs storage (Fig. 15)."""
     predictors = ["mascot", "mascot-opt", "mascot-opt-tag2",
                   "mascot-opt-tag4", "mascot-opt-tag6"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
-                          baseline="mascot", jobs=jobs, cache=cache)
+                          baseline="mascot", jobs=jobs, cache=cache,
+                          policy=policy, journal=journal, resume=resume)
     sizes = {
         "mascot": MASCOT_DEFAULT.storage_kib,
         "mascot-opt": MASCOT_OPT.storage_kib,

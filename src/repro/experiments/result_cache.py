@@ -32,10 +32,16 @@ Storage
 -------
 One JSON file per cell under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-mascot/``), named ``<key>.json`` and carrying the key
-again in its body so truncated or corrupt files verifiably fail decode.
-Any unreadable/undecodable file is treated as a miss, never an error.
-All cached payloads are integers (or exact-round-trip floats for F1
-profiles), so a cache hit is bit-identical to recomputation.
+again in its body plus a digest of the result payload, so truncated,
+bit-flipped or misnamed files verifiably fail decode.  Entries are
+written atomically (temp file + ``os.replace``), so a worker killed
+mid-store can never leave a torn entry.  On read, a *corrupt* file
+(unparsable, wrong key, digest mismatch, undecodable result) is moved to
+a ``corrupt/`` quarantine subdirectory and treated as a miss — never an
+error, and never rescanned; a *stale* file (older schema version) is a
+plain miss that the recomputed result overwrites.  All cached payloads
+are integers (or exact-round-trip floats for F1 profiles), so a cache
+hit is bit-identical to recomputation.
 """
 
 from __future__ import annotations
@@ -58,7 +64,9 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ResultCache",
     "cell_key",
+    "decode_result",
     "default_cache_dir",
+    "encode_result",
     "predictor_fingerprint",
     "shared_code_salt",
 ]
@@ -67,8 +75,9 @@ __all__ = [
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every existing cache entry (e.g. when the meaning of
-#: a keyed field changes without its value changing).
-CACHE_SCHEMA_VERSION = 1
+#: a keyed field changes without its value changing).  v2 added the stored
+#: result digest verified on every read.
+CACHE_SCHEMA_VERSION = 2
 
 #: Root of the installed ``repro`` package (``.../src/repro``).
 _PACKAGE_ROOT = Path(__file__).resolve().parent.parent
@@ -142,7 +151,8 @@ def predictor_fingerprint(name: str) -> Dict[str, object]:
     }
 
 
-def _encode_result(result: Union[PipelineStats, PredictionRunResult]) -> Dict:
+def encode_result(result: Union[PipelineStats, PredictionRunResult]) -> Dict:
+    """JSON-serialisable envelope for a cell result (cache and journal)."""
     if isinstance(result, PipelineStats):
         return {"kind": "timing", "data": result.to_dict()}
     if isinstance(result, PredictionRunResult):
@@ -150,7 +160,8 @@ def _encode_result(result: Union[PipelineStats, PredictionRunResult]) -> Dict:
     raise TypeError(f"uncacheable result type {type(result).__name__}")
 
 
-def _decode_result(payload: Dict) -> Union[PipelineStats, PredictionRunResult]:
+def decode_result(payload: Dict) -> Union[PipelineStats, PredictionRunResult]:
+    """Inverse of :func:`encode_result`."""
     kind = payload["kind"]
     if kind == "timing":
         return PipelineStats.from_dict(payload["data"])
@@ -162,8 +173,9 @@ def _decode_result(payload: Dict) -> Union[PipelineStats, PredictionRunResult]:
 class ResultCache:
     """One JSON file per cell key under a cache directory.
 
-    ``hits`` / ``misses`` / ``stores`` counters instrument test assertions
-    ("a warm sweep performs zero re-runs") and ``verbose`` suite output.
+    ``hits`` / ``misses`` / ``stores`` / ``quarantined`` counters
+    instrument test assertions ("a warm sweep performs zero re-runs",
+    "corruption never propagates") and ``verbose`` suite output.
     """
 
     def __init__(self, directory: Union[str, Path, None] = None):
@@ -171,31 +183,94 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def load(self, key: str) -> Optional[object]:
-        """Decoded result for ``key``, or None on miss/corruption."""
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved; never consulted on load."""
+        return self.directory / "corrupt"
+
+    def probe_writable(self) -> Optional[str]:
+        """None when the directory is writable, else the failure reason.
+
+        Used by :func:`~repro.experiments.parallel.resolve_cache` to fall
+        back to cache-off *before* a sweep starts rather than failing on
+        the first ``store`` hours in, and by ``repro doctor``.
+        """
         try:
-            payload = json.loads(self.path_for(key).read_text())
-            if payload["key"] != key or payload["v"] != CACHE_SCHEMA_VERSION:
-                raise ValueError("stale or corrupt cache entry")
-            result = _decode_result(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, truncated, corrupt or schema-mismatched entries are
-            # all plain misses; the recomputed result overwrites them.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            probe = self.directory / f".probe-{os.getpid()}"
+            probe.write_text("ok")
+            probe.unlink()
+        except OSError as error:
+            return str(error)
+        return None
+
+    def load(self, key: str) -> Optional[object]:
+        """Decoded result for ``key``, or None on miss/staleness/corruption.
+
+        A missing file or an entry from an older schema version is a plain
+        miss (the recomputed result overwrites it).  A *corrupt* file —
+        unparsable, wrong embedded key, digest mismatch, undecodable
+        result — is quarantined to ``corrupt/`` so it is never rescanned
+        and remains available for post-mortems.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+            if payload.get("v") != CACHE_SCHEMA_VERSION:
+                self.misses += 1  # stale schema: plain miss, no quarantine
+                return None
+            if payload.get("key") != key:
+                raise ValueError("embedded key does not match filename")
+            encoded = payload["result"]
+            if payload.get("digest") != stable_digest(encoded):
+                raise ValueError("result digest mismatch")
+            result = decode_result(encoded)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; best-effort, never raises."""
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            counter = 0
+            while target.exists():
+                counter += 1
+                target = qdir / f"{path.name}.{counter}"
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:
+            pass  # read-only cache: the entry simply stays a miss
+
     def store(self, key: str, result: object) -> None:
-        """Atomically persist ``result`` under ``key``."""
+        """Atomically persist ``result`` under ``key``.
+
+        The temp-file + ``os.replace`` dance guarantees a reader (or a
+        worker killed mid-write) can never observe a torn entry.
+        """
+        encoded = encode_result(result)
         payload = {
             "v": CACHE_SCHEMA_VERSION,
             "key": key,
-            "result": _encode_result(result),
+            "digest": stable_digest(encoded),
+            "result": encoded,
         }
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)

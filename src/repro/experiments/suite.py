@@ -10,7 +10,7 @@ through a registry of named factories so figures and benches can request
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..common.statistics import geometric_mean, normalise
@@ -27,7 +27,14 @@ from ..predictors.phast import Phast
 from ..predictors.store_sets import StoreSets
 from ..predictors.tage_nond import TAGE_NO_ND_CONFIG
 from ..trace.profiles import suite_names
-from .parallel import CacheSpec, CellSpec, execute_cells
+from .parallel import (
+    CacheSpec,
+    CellSpec,
+    JournalSpec,
+    ResumeSpec,
+    execute_cells,
+)
+from .resilience import CellFailure, ResiliencePolicy
 from .runner import DEFAULT_TRACE_LENGTH, PredictionRunResult
 
 __all__ = [
@@ -80,27 +87,51 @@ def make_predictor(name: str) -> MDPredictor:
 
 @dataclass
 class IpcSuiteResult:
-    """IPC grid with normalisation helpers."""
+    """IPC grid with normalisation helpers.
+
+    Under ``--keep-going`` a cell that exhausted its retries is absent from
+    ``ipc``/``stats`` and recorded in ``failures`` instead; the helpers
+    operate on the benchmarks both sides of a comparison actually have, so
+    a partial grid still summarises (the geomean of an empty intersection
+    is ``nan``, never an exception).
+    """
 
     #: ipc[predictor][benchmark]
     ipc: Dict[str, Dict[str, float]]
     #: Full pipeline stats for every run (same key structure).
     stats: Dict[str, Dict[str, PipelineStats]]
     baseline: str
+    #: failures[predictor][benchmark] for cells that never completed.
+    failures: Dict[str, Dict[str, CellFailure]] = field(default_factory=dict)
+    #: The benchmark order the suite was requested with (including benches
+    #: where every predictor failed); empty for pre-resilience pickles.
+    benchmarks: List[str] = field(default_factory=list)
 
     def normalised(self, predictor: str) -> Dict[str, float]:
-        """Per-benchmark IPC relative to the baseline predictor."""
-        return normalise(self.ipc[predictor], self.ipc[self.baseline])
+        """Per-benchmark IPC relative to the baseline predictor.
+
+        Restricted to benchmarks where both the predictor and the baseline
+        completed.
+        """
+        base = self.ipc[self.baseline]
+        mine = {b: v for b, v in self.ipc[predictor].items() if b in base}
+        return normalise(mine, base)
 
     def geomean(self, predictor: str) -> float:
-        return geometric_mean(self.normalised(predictor).values())
+        values = self.normalised(predictor).values()
+        if not values:
+            return float("nan")
+        return geometric_mean(values)
 
     def geomean_speedup_over(self, predictor: str, other: str) -> float:
         """Geomean of per-benchmark IPC ratios predictor/other, in percent."""
         ratios = [
             self.ipc[predictor][b] / self.ipc[other][b]
             for b in self.ipc[predictor]
+            if b in self.ipc[other]
         ]
+        if not ratios:
+            return float("nan")
         return 100.0 * (geometric_mean(ratios) - 1.0)
 
 
@@ -113,12 +144,17 @@ def run_ipc_suite(
     verbose: bool = False,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> IpcSuiteResult:
     """Timing-mode sweep; the baseline is added automatically if missing.
 
     ``jobs`` shards the (benchmark × predictor) cells across worker
     processes; ``cache`` enables the on-disk result cache (see
-    :data:`~repro.experiments.parallel.CacheSpec`).  The grid is
+    :data:`~repro.experiments.parallel.CacheSpec`); ``policy``, ``journal``
+    and ``resume`` configure fault tolerance and crash recovery (see
+    :func:`~repro.experiments.parallel.execute_cells`).  The grid is
     bit-identical for every ``jobs`` value and cache state.
     """
     names = list(predictors)
@@ -132,19 +168,29 @@ def run_ipc_suite(
                  store_window=config.sb_size, instr_window=config.rob_size)
         for bench in benchmarks for name in names
     ]
-    cell_results = execute_cells(cells, jobs=jobs, cache=cache)
+    cell_results = execute_cells(cells, jobs=jobs, cache=cache,
+                                 policy=policy, journal=journal,
+                                 resume=resume)
 
     ipc: Dict[str, Dict[str, float]] = {n: {} for n in names}
     stats: Dict[str, Dict[str, PipelineStats]] = {n: {} for n in names}
+    failures: Dict[str, Dict[str, CellFailure]] = {}
     grid = iter(cell_results)
     for bench in benchmarks:
         for name in names:
             result = next(grid)
+            if isinstance(result, CellFailure):
+                failures.setdefault(name, {})[bench] = result
+                if verbose:
+                    print(f"  {bench:12s} {name:16s} FAILED "
+                          f"({result.kind.value})")
+                continue
             ipc[name][bench] = result.ipc
             stats[name][bench] = result
             if verbose:
                 print(f"  {bench:12s} {name:16s} IPC={result.ipc:.3f}")
-    return IpcSuiteResult(ipc=ipc, stats=stats, baseline=baseline)
+    return IpcSuiteResult(ipc=ipc, stats=stats, baseline=baseline,
+                          failures=failures, benchmarks=benchmarks)
 
 
 def run_accuracy_suite(
@@ -155,13 +201,19 @@ def run_accuracy_suite(
     warmup: Optional[int] = None,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> Dict[str, Dict[str, PredictionRunResult]]:
     """Prediction-only sweep: results[predictor][benchmark].
 
     ``warmup`` defaults to a quarter of the trace: predictors train on it
     but it is excluded from the statistics (steady-state measurement, as
-    the paper's warmed SimPoints provide).  ``jobs`` and ``cache`` behave
-    as in :func:`run_ipc_suite`.
+    the paper's warmed SimPoints provide).  ``jobs``, ``cache``,
+    ``policy``, ``journal`` and ``resume`` behave as in
+    :func:`run_ipc_suite`.  Under ``--keep-going`` a failed cell's value
+    is its :class:`~repro.experiments.resilience.CellFailure` placeholder;
+    aggregating callers skip those with an ``isinstance`` check.
     """
     if warmup is None:
         warmup = num_uops // 4
@@ -173,7 +225,9 @@ def run_accuracy_suite(
                  predictor=name, warmup=warmup)
         for bench in benchmarks for name in names
     ]
-    cell_results = execute_cells(cells, jobs=jobs, cache=cache)
+    cell_results = execute_cells(cells, jobs=jobs, cache=cache,
+                                 policy=policy, journal=journal,
+                                 resume=resume)
 
     results: Dict[str, Dict[str, PredictionRunResult]] = {
         n: {} for n in names
@@ -184,6 +238,10 @@ def run_accuracy_suite(
             result = next(grid)
             results[name][bench] = result
             if verbose:
+                if isinstance(result, CellFailure):
+                    print(f"  {bench:12s} {name:16s} FAILED "
+                          f"({result.kind.value})")
+                    continue
                 acc = result.accuracy
                 print(f"  {bench:12s} {name:16s} "
                       f"mispred={acc.mispredictions}")

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.config import GOLDEN_COVE, CoreConfig
-from .parallel import CacheSpec
+from .parallel import CacheSpec, JournalSpec, ResumeSpec
+from .resilience import ResiliencePolicy
 from .suite import IpcSuiteResult, run_ipc_suite
 
 __all__ = ["CoreSweepPoint", "CoreSweepResult", "sweep_core_parameter"]
@@ -57,6 +58,9 @@ def sweep_core_parameter(
     base: CoreConfig = GOLDEN_COVE,
     jobs: int = 1,
     cache: CacheSpec = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: JournalSpec = None,
+    resume: ResumeSpec = None,
 ) -> CoreSweepResult:
     """Run the predictor set on each varied core.
 
@@ -79,7 +83,9 @@ def sweep_core_parameter(
         label = ",".join(f"{k}={v}" for k, v in overrides.items())
         config = base.with_(name=f"{base.name}[{label}]", **overrides)
         suite = run_ipc_suite(list(predictors), benchmarks, num_uops,
-                              config=config, jobs=jobs, cache=cache)
+                              config=config, jobs=jobs, cache=cache,
+                              policy=policy, journal=journal,
+                              resume=resume)
         result.points.append(CoreSweepPoint(label=label, config=config,
                                             suite=suite))
     return result

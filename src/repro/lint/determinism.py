@@ -10,7 +10,12 @@ entropy sources:
   / ``numpy.random.default_rng()`` / ``RandomState()`` without a seed, and
   any ``numpy.random.*`` global-state draw.
 * ``det-time``          — wall/CPU clock reads (``time.time`` et al.,
-  ``datetime.now``/``utcnow``/``today``).
+  ``datetime.now``/``utcnow``/``today``).  The parallel supervisor alone
+  (:data:`MONOTONIC_CLOCK_MODULES`) may read *monotonic* clocks: it needs
+  them for timeout deadlines and backoff scheduling, and they never flow
+  into results.  Backoff *jitter* must still derive from cell keys —
+  ``random``/wall-clock jitter anywhere (including
+  ``repro.experiments.resilience`` and ``.journal``) stays flagged.
 * ``det-entropy``       — OS entropy (``os.urandom``, ``secrets``,
   ``uuid.uuid1``/``uuid4``, ``random.SystemRandom``).
 * ``det-id``            — ``id()`` values, which vary per process.
@@ -20,8 +25,9 @@ entropy sources:
   ``list``/``tuple``/``sum``/``join``/...) without ``sorted``: set order
   depends on the per-process hash salt.
 * ``det-env``           — environment reads outside the sanctioned config
-  surface (:mod:`repro.experiments.result_cache`): hidden env inputs make
-  identical-looking cells differ between hosts.
+  surface (:data:`SANCTIONED_ENV_MODULES`: the result-cache / journal
+  directory overrides and the fault-injection switch): hidden env inputs
+  make identical-looking cells differ between hosts.
 """
 
 from __future__ import annotations
@@ -33,7 +39,8 @@ from .findings import Finding
 from .index import PackageIndex
 from .source import SourceModule
 
-__all__ = ["RULES", "check", "SANCTIONED_ENV_MODULES"]
+__all__ = ["RULES", "check", "MONOTONIC_CLOCK_MODULES",
+           "SANCTIONED_ENV_MODULES"]
 
 RULES: Dict[str, str] = {
     "det-unseeded-rng": "unseeded or process-global random number generator",
@@ -45,10 +52,20 @@ RULES: Dict[str, str] = {
     "det-env": "environment read outside the sanctioned config surface",
 }
 
-#: Modules allowed to read the environment: the result-cache directory
-#: override is the package's one sanctioned env-configured knob.  Add new
-#: env inputs here (and to the cache key!) rather than scattering reads.
-SANCTIONED_ENV_MODULES = frozenset({"repro.experiments.result_cache"})
+#: Modules allowed to read the environment: the result-cache / run-journal
+#: directory overrides and the fault-injection switch are the package's
+#: sanctioned env-configured knobs.  Add new env inputs here (and to the
+#: cache key, if they can change results!) rather than scattering reads.
+SANCTIONED_ENV_MODULES = frozenset({
+    "repro.experiments.result_cache",
+    "repro.experiments.journal",
+    "repro.experiments.resilience",
+})
+
+#: Modules allowed to read monotonic (never wall-clock) clocks: only the
+#: supervisor loop, which needs deadlines and backoff scheduling.  Clock
+#: values there drive *when* a cell runs, never *what* it computes.
+MONOTONIC_CLOCK_MODULES = frozenset({"repro.experiments.parallel"})
 
 _RANDOM_DRAWS = frozenset({
     "random", "randint", "randrange", "uniform", "choice", "choices",
@@ -66,6 +83,11 @@ _NUMPY_DRAWS = frozenset({
 _TIME_FUNCS = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
     "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+#: Clock reads with no wall-time meaning, tolerated in
+#: MONOTONIC_CLOCK_MODULES only.
+_MONOTONIC_FUNCS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
 })
 _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 _SET_SINKS = frozenset({"list", "tuple", "iter", "enumerate", "sum", "map",
@@ -251,11 +273,13 @@ class _DetVisitor(ast.NodeVisitor):
                     self._emit("det-entropy", node,
                                "random.SystemRandom draws OS entropy")
             elif resolved == "time" and attr in _TIME_FUNCS:
-                self._emit(
-                    "det-time", node,
-                    f"time.{attr}() reads the clock; simulation results "
-                    "must not depend on wall time",
-                )
+                if not (attr in _MONOTONIC_FUNCS
+                        and self.mod.module in MONOTONIC_CLOCK_MODULES):
+                    self._emit(
+                        "det-time", node,
+                        f"time.{attr}() reads the clock; simulation results "
+                        "must not depend on wall time",
+                    )
             elif (resolved in ("datetime", "datetime.datetime",
                                "datetime.date")
                   and attr in _DATETIME_FUNCS):
@@ -308,8 +332,8 @@ class _DetVisitor(ast.NodeVisitor):
         self._emit(
             "det-env", node,
             "environment read outside the sanctioned config surface "
-            "(repro.experiments.result_cache); hidden env inputs make "
-            "cached cells host-dependent",
+            "(see repro.lint.determinism.SANCTIONED_ENV_MODULES); hidden "
+            "env inputs make cached cells host-dependent",
         )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

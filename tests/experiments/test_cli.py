@@ -71,6 +71,83 @@ class TestAccuracy:
         assert "false dependencies" in out
 
 
+class TestFaultTolerance:
+    def test_keep_going_marks_failures_and_exits_nonzero(self, monkeypatch,
+                                                         capsys):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        assert main(["compare", "mascot", "phast",
+                     "--benchmarks", "exchange2", "lbm",
+                     "--uops", "3000", "--no-cache", "--keep-going"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "FAILED timing:lbm/phast" in captured.err
+
+    def test_fail_fast_is_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        with pytest.raises(RuntimeError, match="injected fault"):
+            main(["compare", "phast", "--benchmarks", "lbm",
+                  "--uops", "3000", "--no-cache"])
+
+    def test_fail_fast_and_keep_going_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "mascot", "--fail-fast", "--keep-going"])
+
+    def test_rejects_bad_retry_and_timeout_values(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "mascot", "--retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(["compare", "mascot", "--cell-timeout", "0"])
+
+    def test_resume_after_keep_going_failure(self, monkeypatch, tmp_path,
+                                             capsys):
+        journal_dir = tmp_path / "journals"
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        assert main(["accuracy", "phast", "--benchmarks", "exchange2",
+                     "lbm", "--uops", "3000", "--no-cache", "--keep-going",
+                     "--journal-dir", str(journal_dir)]) == 1
+        captured = capsys.readouterr()
+        run_id = captured.err.split("journal ")[1].split(":")[0]
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert main(["accuracy", "phast", "--benchmarks", "exchange2",
+                     "lbm", "--uops", "3000", "--no-cache",
+                     "--journal-dir", str(journal_dir),
+                     "--resume", run_id]) == 0
+        resumed_out = capsys.readouterr().out
+
+        assert main(["accuracy", "phast", "--benchmarks", "exchange2",
+                     "lbm", "--uops", "3000", "--no-cache",
+                     "--no-journal"]) == 0
+        assert capsys.readouterr().out == resumed_out
+
+    def test_no_journal_writes_nothing(self, monkeypatch, tmp_path,
+                                       capsys):
+        journal_dir = tmp_path / "journals"
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(journal_dir))
+        assert main(["accuracy", "mascot", "--benchmarks", "exchange2",
+                     "--uops", "3000", "--no-cache", "--no-journal"]) == 0
+        assert not journal_dir.exists()
+
+
+class TestDoctor:
+    def test_healthy_environment_passes(self, tmp_path, capsys):
+        assert main(["doctor", "--cache-dir", str(tmp_path / "c"),
+                     "--journal-dir", str(tmp_path / "j")]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "worker spawn ok" in out
+
+    def test_unwritable_cache_fails_with_actionable_message(self, tmp_path,
+                                                            capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        assert main(["doctor", "--cache-dir", str(blocker / "sub"),
+                     "--journal-dir", str(tmp_path / "j")]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL [cache]" in out
+        assert "--cache-dir" in out
+
+
 class TestFigure:
     def test_table2(self, capsys):
         assert main(["figure", "table2"]) == 0

@@ -1,0 +1,153 @@
+"""Tests for the append-only run journal and its resume semantics."""
+
+import json
+
+import pytest
+
+from repro.experiments.journal import (
+    JOURNAL_DIR_ENV,
+    JournalState,
+    RunJournal,
+    default_journal_dir,
+    derive_run_id,
+)
+from repro.experiments.result_cache import encode_result
+from repro.experiments.runner import PredictionRunResult
+from repro.analysis.accuracy import AccuracyStats, Outcome, OutcomeKind
+from repro.predictors.base import PredictionKind
+
+KEYS = ["a" * 64, "b" * 64, "c" * 64]
+
+
+def _result(mispredictions=1):
+    stats = AccuracyStats()
+    stats.instructions = 100
+    stats.record(Outcome(OutcomeKind.CORRECT_MDP, PredictionKind.MDP, True))
+    for _ in range(mispredictions):
+        stats.record(Outcome(OutcomeKind.MISSED_DEP, PredictionKind.NO_DEP,
+                             False))
+    return PredictionRunResult(accuracy=stats,
+                               predictions_per_table=[1, 0])
+
+
+class TestRunId:
+    def test_content_addressed(self):
+        assert derive_run_id(KEYS) == derive_run_id(KEYS)
+        assert derive_run_id(KEYS) == derive_run_id(list(reversed(KEYS)))
+        assert derive_run_id(KEYS) != derive_run_id(KEYS[:2])
+        assert derive_run_id(KEYS).startswith("run-")
+
+    def test_repeat_runs_get_suffixes(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        first = journal.begin(KEYS)
+        first.finish()
+        second = journal.begin(KEYS)
+        second.finish()
+        base = derive_run_id(KEYS)
+        assert first.run_id == base
+        assert second.run_id == f"{base}-2"
+        assert journal.last_run_id == f"{base}-2"
+
+
+class TestRoundTrip:
+    def test_ok_records_restore_results(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_dispatch(KEYS[0], 1)
+        run.record_ok(KEYS[0], attempts=1, duration=0.5, source="computed",
+                      result=_result())
+        run.record_fail(KEYS[1], attempts=2, kind="timeout", message="slow")
+        run.finish()
+
+        state = journal.load(run.run_id)
+        assert set(state.completed) == {KEYS[0]}
+        restored = state.completed[KEYS[0]]
+        assert restored.to_dict() == _result().to_dict()
+        assert set(state.failed) == {KEYS[1]}
+        assert state.failed[KEYS[1]]["kind"] == "timeout"
+
+    def test_ok_supersedes_earlier_fail(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_fail(KEYS[0], 1, "error", "first attempt died")
+        run.record_ok(KEYS[0], 2, 0.1, "computed", _result())
+        run.finish()
+        state = journal.load(run.run_id)
+        assert KEYS[0] in state.completed
+        assert KEYS[0] not in state.failed
+
+    def test_finish_is_idempotent(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.finish()
+        run.finish()
+        lines = journal.path_for(run.run_id).read_text().splitlines()
+        events = [json.loads(line)["event"] for line in lines]
+        assert events == ["run-start", "run-end"]
+
+
+class TestTornTail:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_ok(KEYS[0], 1, 0.1, "computed", _result())
+        run.record_ok(KEYS[1], 1, 0.1, "computed", _result(2))
+        run.finish()
+        path = journal.path_for(run.run_id)
+        lines = path.read_text().splitlines(keepends=True)
+        # Tear the file mid-way through the second ok record, as a SIGKILL
+        # during that write would: run-start and ok(KEYS[0]) survive.
+        path.write_text("".join(lines[:2]) + lines[2][:40])
+        state = journal.load(run.run_id)
+        assert set(state.completed) == {KEYS[0]}
+
+    def test_missing_run_raises_with_directory(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        with pytest.raises(FileNotFoundError, match=str(tmp_path)):
+            journal.load("run-nonexistent")
+
+
+class TestLoadMany:
+    def test_later_runs_win(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        first = journal.begin(KEYS)
+        first.record_ok(KEYS[0], 1, 0.1, "computed", _result(1))
+        first.record_fail(KEYS[1], 1, "error", "boom")
+        first.finish()
+        second = journal.begin(KEYS)
+        second.record_ok(KEYS[1], 1, 0.1, "computed", _result(3))
+        second.finish()
+
+        state = journal.load_many([first.run_id, second.run_id])
+        assert set(state.completed) == {KEYS[0], KEYS[1]}
+        assert state.completed[KEYS[1]].accuracy.mispredictions == 3
+        assert state.failed == {}
+
+
+class TestDefaultDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(JOURNAL_DIR_ENV, str(tmp_path / "j"))
+        assert default_journal_dir() == tmp_path / "j"
+
+    def test_falls_under_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(JOURNAL_DIR_ENV, raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert default_journal_dir() == tmp_path / "cache" / "journals"
+
+    def test_probe_writable(self, tmp_path):
+        assert RunJournal(tmp_path / "new").probe_writable() is None
+
+    def test_probe_unwritable(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        error = RunJournal(blocker / "sub").probe_writable()
+        assert error is not None
+
+
+class TestJournalState:
+    def test_encoding_matches_cache(self):
+        # The journal stores the exact cache encoding, so results restored
+        # from either source are bit-identical.
+        result = _result()
+        state = JournalState(run_id="x", completed={"k": result})
+        assert encode_result(state.completed["k"]) == encode_result(result)

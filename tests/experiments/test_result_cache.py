@@ -209,6 +209,82 @@ class TestCorruptionIsAMiss:
         assert cache.load("d" * 64) is not None
 
 
+class TestQuarantine:
+    KEY = "e" * 64
+
+    @pytest.fixture
+    def warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(self.KEY, _sample_accuracy_result())
+        return cache
+
+    def test_corrupt_entry_is_moved_to_corrupt_dir(self, warm):
+        path = warm.path_for(self.KEY)
+        path.write_text("garbage {{{")
+        assert warm.load(self.KEY) is None
+        assert not path.exists()
+        quarantined = warm.quarantine_dir / path.name
+        assert quarantined.read_text() == "garbage {{{"
+        assert warm.quarantined == 1
+
+    def test_digest_mismatch_is_quarantined(self, warm):
+        path = warm.path_for(self.KEY)
+        payload = json.loads(path.read_text())
+        payload["digest"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert warm.load(self.KEY) is None
+        assert warm.quarantined == 1
+        assert not path.exists()
+
+    def test_stale_schema_is_a_miss_not_quarantined(self, warm):
+        """An old-schema entry is merely stale: overwritten on the next
+        store, never treated as damage."""
+        path = warm.path_for(self.KEY)
+        payload = json.loads(path.read_text())
+        payload["v"] = 1
+        path.write_text(json.dumps(payload))
+        assert warm.load(self.KEY) is None
+        assert warm.quarantined == 0
+        assert path.exists()
+
+    def test_repeated_corruption_gets_numbered_names(self, warm):
+        path = warm.path_for(self.KEY)
+        for round_number in (1, 2):
+            path.write_text(f"garbage {round_number}")
+            assert warm.load(self.KEY) is None
+        assert warm.quarantined == 2
+        assert (warm.quarantine_dir / path.name).exists()
+        assert (warm.quarantine_dir / f"{path.name}.1").exists()
+
+    def test_quarantined_entry_not_served_after_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = CellSpec(mode="accuracy", benchmark="lbm", num_uops=4_000,
+                        predictor="phast")
+        (first,) = execute_cells([spec], cache=cache)
+        cache.path_for(cell_key(spec)).write_text("garbage")
+        (second,) = execute_cells([spec], cache=cache)
+        assert second.to_dict() == first.to_dict()
+        # The repaired entry now hits; the quarantined file is ignored.
+        (third,) = execute_cells([spec], cache=cache)
+        assert third.to_dict() == first.to_dict()
+        assert cache.hits == 1
+        assert cache.quarantined == 1
+
+
+class TestProbeWritable:
+    def test_creates_and_probes(self, tmp_path):
+        cache = ResultCache(tmp_path / "fresh")
+        assert cache.probe_writable() is None
+        assert cache.directory.is_dir()
+        assert list(cache.directory.iterdir()) == []  # probe cleaned up
+
+    def test_reports_failure_reason(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        error = ResultCache(blocker / "sub").probe_writable()
+        assert error is not None
+
+
 class TestDefaultDir:
     def test_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))

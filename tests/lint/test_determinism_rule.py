@@ -213,3 +213,82 @@ class TestSuppression:
         assert findings[0].suppressed
         assert findings[0].justification == "per-process memo, never persisted"
         assert box.active_rules() == []
+
+
+class TestResilienceSurface:
+    """det-* coverage of the fault-tolerance modules.
+
+    The supervisor (repro.experiments.parallel) alone may read monotonic
+    clocks — they schedule work, never enter results.  The journal and
+    resilience modules are sanctioned env surfaces (journal dir override,
+    fault-injection switch) but get no clock or RNG exemption: backoff
+    jitter must derive from cell keys.
+    """
+
+    def test_monotonic_allowed_in_supervisor(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/parallel.py", """
+        import time
+
+
+        def deadline(timeout):
+            return time.monotonic() + timeout
+        """)
+        assert box.active_rules() == []
+
+    def test_wall_clock_still_flagged_in_supervisor(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/parallel.py", """
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+        assert box.active_rules() == ["det-time"]
+
+    def test_monotonic_flagged_outside_supervisor(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/resilience.py", """
+        import time
+
+
+        def jitter():
+            return time.monotonic() % 1.0
+        """)
+        assert box.active_rules() == ["det-time"]
+
+    def test_random_jitter_flagged_in_resilience(self, box):
+        # Backoff jitter must come from the cell key, not the global RNG.
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/resilience.py", """
+        import random
+
+
+        def backoff_jitter():
+            return random.random()
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_env_sanctioned_in_journal_and_resilience(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/journal.py", """
+        import os
+
+
+        def journal_dir():
+            return os.environ.get("REPRO_JOURNAL_DIR", "journals")
+        """)
+        box.write("repro/experiments/resilience.py", """
+        import os
+
+
+        def fault_spec():
+            return os.environ.get("REPRO_FAULT_INJECT", "")
+        """)
+        assert box.active_rules() == []
