@@ -79,6 +79,20 @@ def _journal_arg(args):
     return True
 
 
+def _resume_arg(args):
+    """Map --resume onto the resume parameter, honouring --journal-dir.
+
+    With journaling on, the run ids are passed through and loaded from the
+    journal directory the run resolves.  With --no-journal the journal
+    parameter carries no directory, so the state is loaded here — from
+    --journal-dir (or the default) — and passed pre-resolved.
+    """
+    if args.resume is None or not args.no_journal:
+        return args.resume
+    from .experiments.journal import RunJournal
+    return RunJournal(args.journal_dir).load_many(args.resume)
+
+
 def _policy_arg(args):
     """Build the ResiliencePolicy from --cell-timeout/--retries/--keep-going.
 
@@ -101,7 +115,7 @@ def _suite_kwargs(args):
         "cache": _cache_arg(args),
         "policy": _policy_arg(args),
         "journal": _journal_arg(args),
-        "resume": args.resume,
+        "resume": _resume_arg(args),
     }
 
 
@@ -351,6 +365,11 @@ def _cmd_accuracy(args) -> int:
 def _cmd_figure(args) -> int:
     result = _FIGURES[args.name](args)
     print(result.render())
+    failures = list(getattr(result, "failures", None) or [])
+    if failures:
+        for failure in failures:
+            print(f"FAILED {failure.describe()}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -49,6 +49,39 @@ __all__ = [
     "fig15_mascot_opt",
 ]
 
+def _suite_failures(suite: IpcSuiteResult) -> List[CellFailure]:
+    """Flatten an IPC suite's failures[predictor][benchmark] grid."""
+    return [failure for per_bench in suite.failures.values()
+            for failure in per_bench.values()]
+
+
+def _accuracy_failures(results: Dict) -> List[CellFailure]:
+    """CellFailure placeholders in an accuracy grid (either nesting depth)."""
+    failures: List[CellFailure] = []
+    for value in results.values():
+        if isinstance(value, CellFailure):
+            failures.append(value)
+        elif isinstance(value, dict):
+            failures.extend(_accuracy_failures(value))
+    return failures
+
+
+def _failure_note(failures: Sequence[CellFailure]) -> str:
+    """Footer appended by render() when cells were excluded from totals.
+
+    Under ``--keep-going`` an aggregate figure silently computed over a
+    partial grid would misreport the paper's numbers; the IPC tables mark
+    FAIL cells inline, and this is the equivalent for figures that only
+    publish totals or mixes.
+    """
+    if not failures:
+        return ""
+    lines = [f"WARNING: {len(failures)} failed cell(s) excluded from "
+             "the aggregates above:"]
+    lines += [f"  FAILED {failure.describe()}" for failure in failures]
+    return "\n".join(lines) + "\n"
+
+
 _SMB_BUCKETS = ("DirectBypass", "NoOffset", "Offset", "MDP Only")
 _CLASS_TO_BUCKET = {
     BypassClass.DIRECT: "DirectBypass",
@@ -161,6 +194,11 @@ class IpcFigureResult:
     suite: IpcSuiteResult
     predictors: List[str]
 
+    @property
+    def failures(self) -> List[CellFailure]:
+        """Cells that never completed (rendered FAIL in the table)."""
+        return _suite_failures(self.suite)
+
     def normalised(self, predictor: str) -> Dict[str, float]:
         return self.suite.normalised(predictor)
 
@@ -238,6 +276,8 @@ class Fig8Result:
     totals: Dict[str, int]
     false_dependencies: Dict[str, int]
     speculative_errors: Dict[str, int]
+    #: Cells excluded from the totals (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     def reduction_vs(self, predictor: str, other: str) -> float:
         """Percent reduction in total mispredictions of predictor vs other."""
@@ -256,7 +296,7 @@ class Fig8Result:
              "speculative errors"],
             rows,
             title="Fig. 8 — mispredictions across all benchmarks",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig8_mispredictions(
@@ -286,7 +326,8 @@ def fig8_mispredictions(
         false_deps[name] = merged.false_dependencies
         spec_errors[name] = merged.speculative_errors
     return Fig8Result(totals=totals, false_dependencies=false_deps,
-                      speculative_errors=spec_errors)
+                      speculative_errors=spec_errors,
+                      failures=_accuracy_failures(results))
 
 
 # -------------------------------------------------------------------- Fig. 10
@@ -297,6 +338,8 @@ class Fig10Result:
 
     prediction_mix: Dict[str, Dict[str, float]]     # bench -> kind -> %
     misprediction_mix: Dict[str, Dict[str, float]]  # bench -> kind -> %
+    #: Cells excluded from the mixes (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     def render(self) -> str:
         kinds = ["no_dep", "mdp", "smb"]
@@ -315,7 +358,7 @@ class Fig10Result:
             rows,
             title="Fig. 10 — MASCOT prediction and misprediction type "
                   "distributions",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig10_prediction_mix(
@@ -349,7 +392,8 @@ def fig10_prediction_mix(
             for kind, count in mix.items()
         }
     return Fig10Result(prediction_mix=prediction_mix,
-                       misprediction_mix=misprediction_mix)
+                       misprediction_mix=misprediction_mix,
+                       failures=_accuracy_failures(results))
 
 
 # -------------------------------------------------------------------- Fig. 11
@@ -360,6 +404,8 @@ class Fig11Result:
 
     ipc: IpcSuiteResult
     false_dependencies: Dict[str, int]
+    #: Cells excluded from the IPC grid or the false-dependency totals.
+    failures: List[CellFailure] = field(default_factory=list)
 
     @property
     def false_dep_ratio(self) -> float:
@@ -383,7 +429,7 @@ class Fig11Result:
             f"tage-no-nd={self.false_dependencies.get('tage-no-nd', 0)} "
             f"({self.false_dep_ratio:.1f}x)"
         )
-        return "\n".join(lines) + "\n"
+        return "\n".join(lines) + "\n" + _failure_note(self.failures)
 
 
 def fig11_ablation(
@@ -410,7 +456,9 @@ def fig11_ablation(
             run.accuracy.false_dependencies for run in per_bench.values()
             if not isinstance(run, CellFailure)
         )
-    return Fig11Result(ipc=ipc, false_dependencies=false_deps)
+    return Fig11Result(ipc=ipc, false_dependencies=false_deps,
+                       failures=(_suite_failures(ipc)
+                                 + _accuracy_failures(accuracy)))
 
 
 # -------------------------------------------------------------------- Fig. 12
@@ -421,6 +469,8 @@ class Fig12Result:
 
     #: geomean IPC over perfect MDP, keyed [core][predictor].
     geomeans: Dict[str, Dict[str, float]]
+    #: Cells excluded from the geomeans (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     def render(self) -> str:
         rows = []
@@ -432,7 +482,7 @@ class Fig12Result:
             rows,
             title="Fig. 12 — MASCOT and the perfect MDP+SMB ceiling on "
                   "larger cores",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig12_future_architectures(
@@ -448,12 +498,14 @@ def fig12_future_architectures(
     """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
     predictors = ["perfect-mdp-smb", "mascot"]
     geomeans: Dict[str, Dict[str, float]] = {}
+    failures: List[CellFailure] = []
     for core in cores:
         suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core,
                               jobs=jobs, cache=cache, policy=policy,
                               journal=journal, resume=resume)
         geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
-    return Fig12Result(geomeans=geomeans)
+        failures.extend(_suite_failures(suite))
+    return Fig12Result(geomeans=geomeans, failures=failures)
 
 
 # -------------------------------------------------------------------- Fig. 13
@@ -465,6 +517,8 @@ class Fig13Result:
     #: per_table[t] = % of all predictions; the final element is the base.
     shares: List[float]
     labels: List[str]
+    #: Cells excluded from the shares (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     def render(self) -> str:
         rows = [
@@ -474,7 +528,7 @@ class Fig13Result:
         return render_table(
             ["source", "% of predictions"], rows,
             title="Fig. 13 — distribution of predictions per MASCOT table",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig13_table_usage(
@@ -506,7 +560,8 @@ def fig13_table_usage(
     grand = max(sum(totals), 1)
     shares = [100.0 * c / grand for c in totals]
     labels = [f"table {t + 1}" for t in range(len(totals) - 1)] + ["base"]
-    return Fig13Result(shares=shares, labels=labels)
+    return Fig13Result(shares=shares, labels=labels,
+                       failures=_accuracy_failures(results))
 
 
 # -------------------------------------------------------------------- Fig. 14
@@ -516,6 +571,8 @@ class Fig14Result:
     """Rank-ordered mean F1 per table, averaged across benchmarks."""
 
     profile: RankedF1Profile
+    #: Cells excluded from the merged profile (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     #: Log-spaced ranks sampled by render(): the useful-entry mass sits in
     #: the first few dozen ranks, so linear sampling would show only zeros.
@@ -534,7 +591,7 @@ class Fig14Result:
             ["table", "entries", f"mean F1 at ranks [{ranks}]"],
             rows,
             title="Fig. 14 — F1 scores of entries ranked within each table",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig14_f1_ranking(
@@ -555,14 +612,16 @@ def fig14_f1_ranking(
         for bench in benchmarks
     ]
     profiles: List[RankedF1Profile] = []
+    failures: List[CellFailure] = []
     for result in execute_cells(cells, jobs=jobs, cache=cache,
                                 policy=policy, journal=journal,
                                 resume=resume):
         if isinstance(result, CellFailure):
+            failures.append(result)
             continue
         assert result.f1_profile is not None
         profiles.append(result.f1_profile)
-    return Fig14Result(profile=merge_profiles(profiles))
+    return Fig14Result(profile=merge_profiles(profiles), failures=failures)
 
 
 # -------------------------------------------------------------------- Fig. 15
@@ -573,6 +632,8 @@ class Fig15Result:
 
     #: predictor -> (geomean IPC vs default MASCOT, size KiB)
     points: Dict[str, tuple]
+    #: Cells excluded from the geomeans (--keep-going partial grids).
+    failures: List[CellFailure] = field(default_factory=list)
 
     def render(self) -> str:
         rows = [
@@ -582,7 +643,7 @@ class Fig15Result:
         return render_table(
             ["predictor", "IPC vs MASCOT", "size (KiB)"], rows,
             title="Fig. 15 — area-optimised MASCOT variants",
-        )
+        ) + _failure_note(self.failures)
 
 
 def fig15_mascot_opt(
@@ -610,4 +671,4 @@ def fig15_mascot_opt(
     points = {
         name: (suite.geomean(name), sizes[name]) for name in predictors
     }
-    return Fig15Result(points=points)
+    return Fig15Result(points=points, failures=_suite_failures(suite))

@@ -176,10 +176,18 @@ class ResultCache:
     ``hits`` / ``misses`` / ``stores`` / ``quarantined`` counters
     instrument test assertions ("a warm sweep performs zero re-runs",
     "corruption never propagates") and ``verbose`` suite output.
+
+    ``read_only`` degrades the cache to load-only: hits are still served
+    (a warm shared or CI-mounted cache keeps performing zero simulations)
+    while :meth:`store` and quarantine moves become no-ops.  Set by
+    :func:`~repro.experiments.parallel.resolve_cache` when the directory
+    is not writable.
     """
 
-    def __init__(self, directory: Union[str, Path, None] = None):
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 read_only: bool = False):
         self.directory = Path(directory) if directory else default_cache_dir()
+        self.read_only = read_only
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -196,9 +204,9 @@ class ResultCache:
     def probe_writable(self) -> Optional[str]:
         """None when the directory is writable, else the failure reason.
 
-        Used by :func:`~repro.experiments.parallel.resolve_cache` to fall
-        back to cache-off *before* a sweep starts rather than failing on
-        the first ``store`` hours in, and by ``repro doctor``.
+        Used by :func:`~repro.experiments.parallel.resolve_cache` to
+        degrade to read-only mode *before* a sweep starts rather than
+        failing on the first ``store`` hours in, and by ``repro doctor``.
         """
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -246,6 +254,8 @@ class ResultCache:
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside; best-effort, never raises."""
+        if self.read_only:
+            return  # the entry simply stays a miss
         try:
             qdir = self.quarantine_dir
             qdir.mkdir(parents=True, exist_ok=True)
@@ -263,8 +273,12 @@ class ResultCache:
         """Atomically persist ``result`` under ``key``.
 
         The temp-file + ``os.replace`` dance guarantees a reader (or a
-        worker killed mid-write) can never observe a torn entry.
+        worker killed mid-write) can never observe a torn entry.  A
+        read-only cache skips the store silently (the warning was issued
+        once, at resolve time).
         """
+        if self.read_only:
+            return
         encoded = encode_result(result)
         payload = {
             "v": CACHE_SCHEMA_VERSION,

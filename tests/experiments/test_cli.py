@@ -88,6 +88,17 @@ class TestFaultTolerance:
             main(["compare", "phast", "--benchmarks", "lbm",
                   "--uops", "3000", "--no-cache"])
 
+    def test_figure_keep_going_annotates_and_exits_nonzero(self,
+                                                           monkeypatch,
+                                                           capsys):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        assert main(["figure", "fig8", "--benchmarks", "exchange2", "lbm",
+                     "--uops", "3000", "--no-cache", "--keep-going",
+                     "--no-journal"]) == 1
+        captured = capsys.readouterr()
+        assert "WARNING" in captured.out
+        assert "FAILED accuracy:lbm/phast" in captured.err
+
     def test_fail_fast_and_keep_going_conflict(self):
         with pytest.raises(SystemExit):
             main(["compare", "mascot", "--fail-fast", "--keep-going"])
@@ -119,6 +130,27 @@ class TestFaultTolerance:
                      "lbm", "--uops", "3000", "--no-cache",
                      "--no-journal"]) == 0
         assert capsys.readouterr().out == resumed_out
+
+    def test_resume_with_no_journal_honours_journal_dir(self, monkeypatch,
+                                                        tmp_path, capsys):
+        """--resume must find the run under --journal-dir even when
+        --no-journal disables journaling for the resumed run itself."""
+        journal_dir = tmp_path / "journals"
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        assert main(["accuracy", "phast", "--benchmarks", "exchange2",
+                     "lbm", "--uops", "3000", "--no-cache", "--keep-going",
+                     "--journal-dir", str(journal_dir)]) == 1
+        run_id = capsys.readouterr().err.split("journal ")[1].split(":")[0]
+
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        # Point the default directory elsewhere to prove --journal-dir,
+        # not the default, is what the resume loader consults.
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "elsewhere"))
+        assert main(["accuracy", "phast", "--benchmarks", "exchange2",
+                     "lbm", "--uops", "3000", "--no-cache", "--no-journal",
+                     "--journal-dir", str(journal_dir),
+                     "--resume", run_id]) == 0
+        assert not (tmp_path / "elsewhere").exists()
 
     def test_no_journal_writes_nothing(self, monkeypatch, tmp_path,
                                        capsys):

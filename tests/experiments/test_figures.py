@@ -173,3 +173,33 @@ class TestFig15:
                  ("mascot", "mascot-opt", "mascot-opt-tag2",
                   "mascot-opt-tag4", "mascot-opt-tag6")]
         assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestPartialGridAnnotation:
+    """Under --keep-going, aggregate figures must not silently publish
+    totals computed over a partial grid: the excluded cells are recorded
+    and render() carries an explicit warning footer."""
+
+    def test_fig8_records_and_renders_excluded_cells(self, monkeypatch):
+        from repro.experiments.resilience import ResiliencePolicy
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/phast")
+        result = figures.fig8_mispredictions(
+            BENCHES, N, policy=ResiliencePolicy(fail_fast=False))
+        assert len(result.failures) == 1
+        assert result.failures[0].spec.benchmark == "lbm"
+        text = result.render()
+        assert "WARNING" in text and "excluded" in text
+        assert "lbm/phast" in text
+
+    def test_complete_grid_renders_no_warning(self):
+        result = figures.fig8_mispredictions(BENCHES, N)
+        assert result.failures == []
+        assert "WARNING" not in result.render()
+
+    def test_fig13_records_excluded_cells(self, monkeypatch):
+        from repro.experiments.resilience import ResiliencePolicy
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "error=lbm/mascot")
+        result = figures.fig13_table_usage(
+            BENCHES, N, policy=ResiliencePolicy(fail_fast=False))
+        assert len(result.failures) == 1
+        assert "WARNING" in result.render()

@@ -215,6 +215,16 @@ class TestTimeout:
         results = execute_cells(GRID, jobs=2, policy=policy)
         assert all(not isinstance(r, CellFailure) for r in results)
 
+    def test_queued_cells_do_not_accrue_timeout(self, monkeypatch):
+        """A cell's timeout clock must not run while it waits for a free
+        worker: four ~0.7s cells through one worker exceed the 1.5s
+        timeout cumulatively, but no single cell ever does."""
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang=exchange2/mascot@0.7")
+        policy = ResiliencePolicy(cell_timeout=1.5)  # fail-fast: any
+        grid = [_cell("exchange2")] * 4              # timeout raises
+        results = execute_cells(grid, jobs=1, policy=policy)
+        assert all(not isinstance(r, CellFailure) for r in results)
+
 
 class TestDegradedSerial:
     def test_repeated_pool_loss_degrades_with_warning(self, monkeypatch):
@@ -272,11 +282,14 @@ class TestResolveJournal:
 
 
 class TestResolveCacheWritability:
-    def test_unwritable_cache_warns_and_disables(self, tmp_path):
+    def test_unwritable_cache_warns_and_degrades_to_read_only(self,
+                                                              tmp_path):
         blocker = tmp_path / "file"
         blocker.write_text("x")
-        with pytest.warns(RuntimeWarning, match="cache disabled"):
-            assert parallel.resolve_cache(blocker / "sub") is None
+        with pytest.warns(RuntimeWarning, match="read-only"):
+            store = parallel.resolve_cache(blocker / "sub")
+        assert isinstance(store, ResultCache)
+        assert store.read_only
 
     def test_unwritable_cache_run_still_completes(self, tmp_path):
         blocker = tmp_path / "file"
@@ -284,6 +297,24 @@ class TestResolveCacheWritability:
         with pytest.warns(RuntimeWarning):
             results = execute_cells([GRID[0]], cache=blocker / "sub")
         assert not isinstance(results[0], CellFailure)
+
+    def test_read_only_cache_serves_hits_and_skips_stores(self, tmp_path,
+                                                          monkeypatch):
+        """A fully warm cache in an unwritable directory (shared or
+        CI-mounted artifacts) must still perform zero simulations."""
+        first = execute_cells([GRID[0]], cache=ResultCache(tmp_path / "c"))
+
+        monkeypatch.setattr(ResultCache, "probe_writable",
+                            lambda self: "read-only file system")
+        monkeypatch.setattr(
+            parallel, "compute_cell",
+            lambda spec: pytest.fail("recomputed despite warm cache"))
+        store = ResultCache(tmp_path / "c")
+        with pytest.warns(RuntimeWarning, match="read-only"):
+            results = execute_cells([GRID[0]], cache=store)
+        assert results[0].to_dict() == first[0].to_dict()
+        assert store.read_only
+        assert store.hits == 1 and store.stores == 0
 
 
 class TestJournalledExecution:
@@ -304,6 +335,26 @@ class TestJournalledExecution:
         assert journal.last_run_id != run_id
         state = journal.load(journal.last_run_id)
         assert len(state.completed) == len(GRID)
+
+    def test_resume_honours_journal_dir_when_journaling_off(self, tmp_path,
+                                                            monkeypatch):
+        """When journaling resolves off (here: unwritable directory), the
+        resume loader must still read from the directory the journal spec
+        names, not the default."""
+        journal = RunJournal(tmp_path / "journals")
+        first = execute_cells(GRID, journal=journal)
+        run_id = journal.last_run_id
+
+        monkeypatch.setattr(RunJournal, "probe_writable",
+                            lambda self: "read-only file system")
+        monkeypatch.setattr(
+            parallel, "compute_cell",
+            lambda spec: pytest.fail("recomputed despite resume"))
+        with pytest.warns(RuntimeWarning, match="journal disabled"):
+            resumed = execute_cells(GRID, journal=tmp_path / "journals",
+                                    resume=run_id)
+        for got, want in zip(resumed, first):
+            assert got.to_dict() == want.to_dict()
 
 
 class TestGoldenAcceptance:
