@@ -13,6 +13,9 @@ can be reproduced without writing Python:
 * ``gen-trace`` — generate and serialise a trace for external use.
 * ``validate``  — check a serialised trace against every consumer
   invariant (see :mod:`repro.trace.validate`).
+* ``profile``   — cycle-accounting + predictor-telemetry report for one
+  cell; exits non-zero if the stall breakdown does not sum exactly to
+  the measured cycle count (see :mod:`repro.obs`).
 * ``lint``      — static simulator-correctness checks (oracle isolation,
   determinism/cache safety, hardware realizability; see
   :mod:`repro.lint`).
@@ -116,6 +119,7 @@ def _suite_kwargs(args):
         "policy": _policy_arg(args),
         "journal": _journal_arg(args),
         "resume": _resume_arg(args),
+        "metrics": args.metrics,
     }
 
 
@@ -230,6 +234,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run-journal directory (default: $REPRO_JOURNAL_DIR or "
              "<cache-dir>/journals)",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="append per-cell execution records (wall time, cache "
+             "hit/miss, retries) to this JSONL file",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -277,6 +286,26 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("trace_file")
     check.add_argument("--store-window", type=int, default=114)
     check.add_argument("--instr-window", type=int, default=512)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cycle-accounting + predictor-telemetry report for one cell "
+             "(validates that the stall breakdown sums to the cycle count)",
+    )
+    profile.add_argument("benchmark", choices=suite_names())
+    profile.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    profile.add_argument("--uops", type=_positive_int, default=40_000)
+    profile.add_argument("--core", choices=sorted(_CORES),
+                         default="golden-cove")
+    profile.add_argument(
+        "--measure-from", type=_non_negative_int, default=None,
+        metavar="UOP",
+        help="first measured uop (default: a quarter of the trace)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of tables",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -373,6 +402,27 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .obs import CycleAccountingError
+    from .obs.profile import profile_cell
+
+    report = profile_cell(args.benchmark, args.predictor, args.uops,
+                          config=_CORES[args.core],
+                          measure_from=args.measure_from)
+    try:
+        report.validate()
+    except CycleAccountingError as error:
+        print(f"cycle-accounting invariant violated: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_gen_trace(args) -> int:
     trace = generate_trace(args.benchmark, args.uops,
                            program_seed=args.program_seed,
@@ -413,6 +463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sizes":
         print(figures.table2_sizes().render())
         return 0
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "validate":

@@ -53,6 +53,11 @@ class CoreConfig:
 
     #: Store-buffer drain: cycles after commit before an SB entry frees.
     sb_drain_latency: int = 4
+    #: Enforce the SB-lifetime forwarding cutoff: a load issuing after the
+    #: conflicting store drained must read the cache instead of forwarding.
+    #: On by default; the pre-fix behaviour (forwarding from drained
+    #: stores) is kept reachable for A/B comparison of the figures.
+    enforce_sb_drain: bool = True
     #: Store-to-load forwarding latency — Sec. V: the SB "is searched
     #: associatively and in parallel with the L1D access, incurring the same
     #: latency as the L1D".

@@ -15,8 +15,9 @@ them to decide, exactly as the LQ/SB snooping hardware of Sec. V does:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 __all__ = ["StoreTiming", "StoreWindow"]
 
@@ -54,15 +55,20 @@ class StoreWindow:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._recent: List[int] = []       # seqs, oldest first
+        self._recent: Deque[int] = deque()  # seqs, oldest first
         self._by_seq: Dict[int, StoreTiming] = {}
+        #: Stores aged out of the window (capacity pressure), for the
+        #: observability layer; distance-based predictions can no longer
+        #: name an evicted store.
+        self.evictions = 0
 
     def add(self, timing: StoreTiming) -> None:
         self._recent.append(timing.seq)
         self._by_seq[timing.seq] = timing
         if len(self._recent) > self.capacity:
-            dead = self._recent.pop(0)
+            dead = self._recent.popleft()
             self._by_seq.pop(dead, None)
+            self.evictions += 1
 
     def by_seq(self, seq: Optional[int]) -> Optional[StoreTiming]:
         if seq is None:

@@ -30,6 +30,7 @@ from ..analysis.accuracy import DEFAULT_BYPASSABLE, Outcome, OutcomeKind, classi
 from ..branch.base import BranchPredictor
 from ..branch.tage import TAGEBranchPredictor
 from ..memory.hierarchy import MemoryHierarchy
+from ..obs.cycles import CycleStack
 from ..predictors.base import ActualOutcome, MDPredictor, Prediction, PredictionKind
 from ..trace.uop import MicroOp, OpClass
 from .config import GOLDEN_COVE, CoreConfig
@@ -38,6 +39,14 @@ from .ports import PortSet
 from .stats import PipelineStats
 
 __all__ = ["Pipeline"]
+
+#: Window categories in stall-attribution priority order (ROB first),
+#: indexed in step with the release points captured by :meth:`_dispatch`.
+_WINDOW_CATEGORIES = ("window_rob", "window_iq", "window_lq", "window_sb")
+
+#: Op classes eligible for the Sec. VI-A consumer-wait metric (hoisted:
+#: the membership test runs once per dynamic uop).
+_CONSUMER_OPS = (OpClass.ALU, OpClass.MUL, OpClass.DIV, OpClass.FP)
 
 
 class Pipeline:
@@ -50,6 +59,7 @@ class Pipeline:
         branch_predictor: Optional[BranchPredictor] = None,
         hierarchy: Optional[MemoryHierarchy] = None,
         record_timeline: bool = False,
+        accounting: bool = False,
     ):
         self.config = config
         self.predictor = predictor
@@ -79,6 +89,9 @@ class Pipeline:
 
         # In-flight store tracking.
         self._stores = StoreWindow(capacity=max(config.sb_size * 2, 256))
+        #: The store most recently timed by _step_store; _step refines its
+        #: drain once the commit cycle is known.
+        self._pending_store: Optional[StoreTiming] = None
         self._branch_count = 0
         # Warmup boundary (see run()); _measuring is refreshed per uop.
         self._measure_from = 0
@@ -88,6 +101,20 @@ class Pipeline:
         self._fetch_times: List[int] = []
         self._dispatch_times: List[int] = []
         self._complete_times: List[int] = []
+        # Optional cycle accounting (see cycle_stack).  Each measured uop's
+        # commit-to-commit gap is attributed to one or more stall
+        # categories; the per-category sums reconstruct stats.cycles
+        # exactly (CycleStack.validate is the invariant).
+        self._acct: Optional[CycleStack] = CycleStack() if accounting else None
+        self._acct_prev_commit = 0
+        self._acct_exec = "execute"
+        self._acct_port_from = 0
+        self._acct_dep_from = 0
+        self._acct_window = (0, 0, 0, 0)
+        self._acct_barrier_bound = False
+        # Bug-2 bookkeeping: which seqs produced a load value (consumer-wait
+        # metric must count only consumers of loads).
+        self._produced_by_load: List[bool] = []
 
     # ------------------------------------------------------------ front end
 
@@ -111,18 +138,21 @@ class Pipeline:
     def _dispatch(self, seq: int, fetch: int, uop: MicroOp) -> int:
         """Rename/dispatch cycle after window-occupancy constraints."""
         cfg = self.config
-        dispatch = fetch + cfg.frontend_latency
+        rob_point = iq_point = lq_point = sb_point = 0
         rob_victim = seq - cfg.rob_size
         if rob_victim >= 0:
-            dispatch = max(dispatch, self._commit_times[rob_victim])
+            rob_point = self._commit_times[rob_victim]
         iq_victim = seq - cfg.iq_size
         if iq_victim >= 0:
-            dispatch = max(dispatch, self._issue_times[iq_victim])
+            iq_point = self._issue_times[iq_victim]
         if uop.is_load and len(self._load_commits) >= cfg.lq_size:
-            dispatch = max(dispatch, self._load_commits[-cfg.lq_size])
+            lq_point = self._load_commits[-cfg.lq_size]
         if uop.is_store and len(self._store_drains) >= cfg.sb_size:
-            dispatch = max(dispatch, self._store_drains[-cfg.sb_size])
-        return dispatch
+            sb_point = self._store_drains[-cfg.sb_size]
+        if self._acct is not None:
+            self._acct_window = (rob_point, iq_point, lq_point, sb_point)
+        return max(fetch + cfg.frontend_latency,
+                   rob_point, iq_point, lq_point, sb_point)
 
     def _sources_ready(self, uop: MicroOp) -> int:
         ready = 0
@@ -179,8 +209,18 @@ class Pipeline:
                 f"measure_from {measure_from} outside trace of {len(trace)}"
             )
         self._measure_from = measure_from
-        for uop in trace:
-            self._step(uop)
+        # Branch statistics accumulate from cycle 0; snapshot them at the
+        # warmup boundary so the reported misprediction counts cover the
+        # same measured window as stats.branches (MPKI would otherwise mix
+        # full-run mispredictions with measured-window uop counts).
+        bstats = self.branch_predictor.stats
+        step = self._step
+        for uop in trace[:measure_from]:
+            step(uop)
+        warm_mispredicts = bstats.mispredictions
+        warm_indirect = bstats.indirect_mispredictions
+        for uop in trace[measure_from:]:
+            step(uop)
         measured = len(trace) - measure_from
         self.stats.instructions = measured
         start_cycle = (
@@ -189,30 +229,53 @@ class Pipeline:
         self.stats.cycles = max(self._commit_cycle - start_cycle, 1)
         self.stats.accuracy.instructions = max(measured, 1)
         self.stats.branch_mispredictions = (
-            self.branch_predictor.stats.mispredictions
+            bstats.mispredictions - warm_mispredicts
         )
         self.stats.indirect_mispredictions = (
-            self.branch_predictor.stats.indirect_mispredictions
+            bstats.indirect_mispredictions - warm_indirect
         )
+        if self._acct is not None:
+            # Cycles between the last measured commit and the final commit
+            # frontier (commit-width rollover) belong to commit bandwidth.
+            tail = self.stats.cycles - self._acct.total
+            if tail > 0:
+                self._acct.add("commit", tail)
         return self.stats
+
+    @property
+    def cycle_stack(self) -> CycleStack:
+        """The per-category cycle attribution (``accounting=True`` only)."""
+        if self._acct is None:
+            raise RuntimeError(
+                "pipeline was not constructed with accounting=True"
+            )
+        return self._acct
 
     def _step(self, uop: MicroOp) -> None:
         cfg = self.config
         self._measuring = uop.seq >= self._measure_from
+        barrier = self._barrier
         fetch = self._fetch(uop.seq)
         dispatch = self._dispatch(uop.seq, fetch, uop)
         ready = self._sources_ready(uop)
         earliest_issue = max(dispatch + 1, ready)
+        if self._acct is not None:
+            self._acct_barrier_bound = barrier > 0 and fetch == barrier
+            self._acct_exec = "execute"
+            self._acct_port_from = earliest_issue
+            self._acct_dep_from = earliest_issue
 
         # Sec. VI-A's consumer-wait metric: cycles an op that consumes at
         # least one load value spends in the issue stage waiting on sources.
-        if self._measuring and uop.srcs and uop.op in (
-            OpClass.ALU, OpClass.MUL, OpClass.DIV, OpClass.FP
-        ):
-            self.stats.load_consumers += 1
-            self.stats.load_consumer_wait_cycles += max(
-                0, ready - (dispatch + 1)
-            )
+        if self._measuring and uop.srcs and uop.op in _CONSUMER_OPS:
+            produced = self._produced_by_load
+            for src in uop.srcs:
+                if produced[src]:
+                    self.stats.load_consumers += 1
+                    wait = ready - (dispatch + 1)
+                    if wait > 0:
+                        self.stats.load_consumer_wait_cycles += wait
+                    break
 
         if uop.op is OpClass.ALU:
             issue = self.ports.alu.issue(earliest_issue)
@@ -268,6 +331,7 @@ class Pipeline:
         self._issue_times.append(issue)
         self._commit_times.append(commit)
         self._value_ready.append(value)
+        self._produced_by_load.append(uop.is_load)
         if self._record_timeline:
             self._fetch_times.append(fetch)
             self._dispatch_times.append(dispatch)
@@ -275,7 +339,64 @@ class Pipeline:
         if uop.is_load:
             self._load_commits.append(commit)
         if uop.is_store:
-            self._store_drains.append(commit + cfg.sb_drain_latency)
+            # Refine the provisional StoreTiming.drain now that the commit
+            # cycle is known: the SB entry frees sb_drain_latency cycles
+            # after commit, and no load may forward from it afterwards.
+            drain = commit + cfg.sb_drain_latency
+            self._store_drains.append(drain)
+            self._pending_store.drain = drain
+        if self._acct is not None:
+            self._account(uop, fetch, dispatch, issue, complete, commit)
+
+    # ----------------------------------------------------------- accounting
+
+    def _account(self, uop: MicroOp, fetch: int, dispatch: int,
+                 issue: int, complete: int, commit: int) -> None:
+        """Attribute this uop's commit-to-commit gap to stall categories.
+
+        The commit stream is in order, so the cycles between consecutive
+        measured commits partition stats.cycles exactly.  Each gap is
+        carved top-down along the uop's own lifecycle breakpoints — every
+        segment is clamped to the (prev_commit, commit] window, so the
+        per-category sums reconstruct the measured cycle count by
+        construction no matter how the breakpoints interleave.
+        """
+        if not self._measuring:
+            self._acct_prev_commit = commit
+            return
+        lo = self._acct_prev_commit
+        self._acct_prev_commit = commit
+        hi = commit
+        if hi <= lo:
+            return
+        stack = self._acct
+        cuts = [
+            (complete, "commit"),
+            (issue, self._acct_exec),
+            (self._acct_port_from, "ports"),
+            (self._acct_dep_from, "dependence"),
+            (dispatch + 1, "src_wait"),
+        ]
+        frontier = fetch + self.config.frontend_latency
+        if dispatch > frontier:
+            points = self._acct_window
+            wcat = _WINDOW_CATEGORIES[points.index(max(points))]
+            cuts.append((frontier, wcat))
+        # A uop whose fetch was pinned to the redirect barrier charges its
+        # front-end span (resteer + refill) to "redirect"; ordinary fetch
+        # streaming is "frontend" bandwidth.
+        front = "redirect" if self._acct_barrier_bound else "frontend"
+        cuts.append((fetch, front))
+        for point, cat in cuts:
+            if point < lo:
+                point = lo
+            if point < hi:
+                stack.add(cat, hi - point)
+                hi = point
+        if hi > lo:
+            # Cycles before this uop even fetched: the front end was either
+            # waiting at the redirect barrier or streaming earlier uops.
+            stack.add(front, hi - lo)
 
     # ---------------------------------------------------------------- stores
 
@@ -287,6 +408,8 @@ class Pipeline:
         # store set (Store Sets' LFST chaining).
         ordering_constraint = self.predictor.on_store(uop)
         addr_ready = self._address_ready(uop, dispatch)
+        if self._acct is not None:
+            self._acct_dep_from = addr_ready
         if ordering_constraint is not None:
             older = self._stores.by_seq(ordering_constraint)
             if older is not None and older.addr_resolve + 1 > addr_ready:
@@ -296,17 +419,22 @@ class Pipeline:
         addr_resolve = agu_issue + cfg.agu_latency
         data_avail = max(data_ready, dispatch + 1)
         complete = max(addr_resolve, data_avail)
+        if self._acct is not None:
+            self._acct_port_from = addr_ready
         self.hierarchy.store_probe(uop.address)
-        # The drain time is filled in after commit; store a provisional
-        # record now so younger loads can snoop it.
+        # The drain time is provisional until the store commits: _step
+        # overwrites it with commit + sb_drain_latency once the commit
+        # cycle is known, before any younger load can snoop this record
+        # (uops are processed in program order).
         timing = StoreTiming(
             seq=uop.seq, pc=uop.pc,
             addr_resolve=addr_resolve,
             data_ready=data_avail,
-            drain=complete + cfg.sb_drain_latency + 64,  # refined below
+            drain=complete + cfg.sb_drain_latency + 64,
             branch_count=self._branch_count,
         )
         self._stores.add(timing)
+        self._pending_store = timing
         return agu_issue, complete, complete
 
     # ----------------------------------------------------------------- loads
@@ -317,6 +445,8 @@ class Pipeline:
             self.stats.loads += 1
         prediction = self.predictor.predict(uop)
         addr_ready = max(self._address_ready(uop, dispatch), ready)
+        if self._acct is not None:
+            self._acct_dep_from = addr_ready
 
         # Resolve the predicted store to a timing record, if any.
         target: Optional[StoreTiming] = None
@@ -338,6 +468,8 @@ class Pipeline:
                 wait_until = hold
 
         issue = self.ports.load.issue(wait_until)
+        if self._acct is not None:
+            self._acct_port_from = wait_until
 
         # Ground truth.
         actual_store = self._stores.by_seq(uop.dep_store_seq)
@@ -359,6 +491,13 @@ class Pipeline:
                     max(squash_at + cfg.squash_overhead,
                         actual_store.forward_ready)
                     + cfg.forward_latency
+                )
+            elif cfg.enforce_sb_drain and issue > actual_store.drain:
+                # The store left the SB before the load issued: nothing to
+                # forward from, so the value comes from the cache (the
+                # store's write has drained into it by then).
+                complete = self.hierarchy.timed_load(
+                    uop.pc, uop.address, issue + cfg.agu_latency - 1
                 )
             else:
                 # Store-to-load forwarding through the SB.
@@ -398,6 +537,8 @@ class Pipeline:
             if self._measuring:
                 self.stats.memory_squashes += 1
             self._redirect(squash_at + cfg.squash_overhead)
+        if self._acct is not None:
+            self._acct_exec = "squash" if squash_at is not None else "memory"
 
         # Commit-time training.
         self.predictor.train(uop, prediction, actual)

@@ -26,6 +26,7 @@ from .parallel import (
     CacheSpec,
     CellSpec,
     JournalSpec,
+    MetricsSpec,
     ResumeSpec,
     execute_cells,
 )
@@ -235,12 +236,14 @@ def fig7_ipc_full(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> IpcFigureResult:
     """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
     predictors = ["nosq", "phast", "mascot"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
-                          journal=journal, resume=resume)
+                          journal=journal, resume=resume,
+                          metrics=metrics)
     return IpcFigureResult(
         title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
         suite=suite, predictors=predictors,
@@ -255,12 +258,14 @@ def fig9_ipc_mdp_only(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> IpcFigureResult:
     """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
     predictors = ["store-sets", "phast", "mascot-mdp"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
-                          journal=journal, resume=resume)
+                          journal=journal, resume=resume,
+                          metrics=metrics)
     return IpcFigureResult(
         title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
         suite=suite, predictors=predictors,
@@ -308,11 +313,13 @@ def fig8_mispredictions(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig8Result:
     """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
     results = run_accuracy_suite(list(predictors), benchmarks, num_uops,
                                  jobs=jobs, cache=cache, policy=policy,
-                                 journal=journal, resume=resume)
+                                 journal=journal, resume=resume,
+                                 metrics=metrics)
     totals: Dict[str, int] = {}
     false_deps: Dict[str, int] = {}
     spec_errors: Dict[str, int] = {}
@@ -369,11 +376,13 @@ def fig10_prediction_mix(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig10Result:
     """MASCOT's prediction and misprediction type mixes (Fig. 10)."""
     results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
                                  jobs=jobs, cache=cache, policy=policy,
-                                 journal=journal, resume=resume)["mascot"]
+                                 journal=journal, resume=resume,
+                                 metrics=metrics)["mascot"]
     prediction_mix: Dict[str, Dict[str, float]] = {}
     misprediction_mix: Dict[str, Dict[str, float]] = {}
     for bench, run in results.items():
@@ -440,16 +449,17 @@ def fig11_ablation(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig11Result:
     """MASCOT vs the no-non-dependence TAGE ablation (Fig. 11)."""
     predictors = ["mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"]
     ipc = run_ipc_suite(predictors, benchmarks, num_uops,
                         jobs=jobs, cache=cache, policy=policy,
-                        journal=journal, resume=resume)
+                        journal=journal, resume=resume, metrics=metrics)
     accuracy = run_accuracy_suite(["mascot", "tage-no-nd"], benchmarks,
                                   num_uops, jobs=jobs, cache=cache,
                                   policy=policy, journal=journal,
-                                  resume=resume)
+                                  resume=resume, metrics=metrics)
     false_deps: Dict[str, int] = {}
     for name, per_bench in accuracy.items():
         false_deps[name] = sum(
@@ -494,6 +504,7 @@ def fig12_future_architectures(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig12Result:
     """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
     predictors = ["perfect-mdp-smb", "mascot"]
@@ -502,7 +513,8 @@ def fig12_future_architectures(
     for core in cores:
         suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core,
                               jobs=jobs, cache=cache, policy=policy,
-                              journal=journal, resume=resume)
+                              journal=journal, resume=resume,
+                              metrics=metrics)
         geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
         failures.extend(_suite_failures(suite))
     return Fig12Result(geomeans=geomeans, failures=failures)
@@ -539,24 +551,34 @@ def fig13_table_usage(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig13Result:
     """Share of predictions served by each MASCOT table (Fig. 13)."""
     # warmup=0: every prediction of the run counts, as the figure's
-    # per-table shares are a property of the whole replay.
+    # per-table shares are a property of the whole replay.  telemetry=True:
+    # the shares come from the observability layer's provider-hit counters
+    # (which a consistency test pins to the predictor's own
+    # predictions_per_table), not from ad-hoc figure bookkeeping.
     results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
                                  warmup=0, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
-                                 resume=resume)["mascot"]
-    totals: Optional[List[int]] = None
+                                 resume=resume, metrics=metrics,
+                                 telemetry=True)["mascot"]
+    totals: List[int] = []
     for run in results.values():
         if isinstance(run, CellFailure):
             continue
-        counts = run.predictions_per_table
-        if totals is None:
-            totals = list(counts)
-        else:
-            totals = [a + b for a, b in zip(totals, counts)]
-    assert totals is not None
+        if run.telemetry is not None:
+            counts = [int(c) for c in run.telemetry["provider_hits"]]
+        else:  # pre-telemetry cached result
+            counts = list(run.predictions_per_table)
+        # Telemetry slots grow lazily, so per-benchmark lists may differ
+        # in length; pad before summing (zip would silently truncate).
+        if len(counts) > len(totals):
+            totals.extend([0] * (len(counts) - len(totals)))
+        for t, count in enumerate(counts):
+            totals[t] += count
+    assert totals
     grand = max(sum(totals), 1)
     shares = [100.0 * c / grand for c in totals]
     labels = [f"table {t + 1}" for t in range(len(totals) - 1)] + ["base"]
@@ -603,6 +625,7 @@ def fig14_f1_ranking(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig14Result:
     """Rank-ordered per-entry F1 scores, averaged over benchmarks (Fig. 14)."""
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
@@ -615,7 +638,7 @@ def fig14_f1_ranking(
     failures: List[CellFailure] = []
     for result in execute_cells(cells, jobs=jobs, cache=cache,
                                 policy=policy, journal=journal,
-                                resume=resume):
+                                resume=resume, metrics=metrics):
         if isinstance(result, CellFailure):
             failures.append(result)
             continue
@@ -654,13 +677,15 @@ def fig15_mascot_opt(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> Fig15Result:
     """Area-optimised MASCOT variants: IPC delta vs storage (Fig. 15)."""
     predictors = ["mascot", "mascot-opt", "mascot-opt-tag2",
                   "mascot-opt-tag4", "mascot-opt-tag6"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           baseline="mascot", jobs=jobs, cache=cache,
-                          policy=policy, journal=journal, resume=resume)
+                          policy=policy, journal=journal, resume=resume,
+                          metrics=metrics)
     sizes = {
         "mascot": MASCOT_DEFAULT.storage_kib,
         "mascot-opt": MASCOT_OPT.storage_kib,

@@ -89,6 +89,11 @@ _PACKAGE_ROOT = Path(__file__).resolve().parent.parent
 _SHARED_SOURCES = (
     "trace", "core", "memory", "branch", "analysis", "common",
     "experiments/runner.py",
+    # Telemetry counters flow into cached PredictionRunResults, so their
+    # semantics are part of the result; the rest of repro.obs (cycle
+    # accounting, profile rendering, metrics emission) never touches
+    # cacheable payloads and deliberately stays out of the salt.
+    "obs/telemetry.py",
 )
 
 #: Predictor machinery shared by every predictor implementation.
@@ -316,6 +321,7 @@ def cell_key(spec) -> str:
             "warmup": spec.warmup,
             "f1_period": spec.f1_period,
             "track_f1": spec.track_f1,
+            "telemetry": spec.telemetry,
         },
         "predictor": predictor_fingerprint(spec.predictor),
         "core": asdict(core) if core is not None else None,

@@ -91,6 +91,9 @@ class PredictionRunResult:
     predictions_per_table: List[int] = field(default_factory=list)
     #: Ranked F1 profile when an :class:`F1Recorder` was attached (Fig. 14).
     f1_profile: Optional[RankedF1Profile] = None
+    #: Per-table telemetry counters (``TableTelemetry.to_dict``) when the
+    #: run was made with ``telemetry=True``; None otherwise.
+    telemetry: Optional[dict] = None
 
     # -- serialisation (on-disk result cache) ----------------------------------
 
@@ -101,17 +104,20 @@ class PredictionRunResult:
             "predictions_per_table": list(self.predictions_per_table),
             "f1_profile": (self.f1_profile.to_dict()
                            if self.f1_profile is not None else None),
+            "telemetry": self.telemetry,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PredictionRunResult":
         profile = data.get("f1_profile")
+        telemetry = data.get("telemetry")
         return cls(
             accuracy=AccuracyStats.from_dict(data["accuracy"]),
             predictions_per_table=[int(c)
                                    for c in data["predictions_per_table"]],
             f1_profile=(RankedF1Profile.from_dict(profile)
                         if profile is not None else None),
+            telemetry=dict(telemetry) if telemetry is not None else None,
         )
 
 
@@ -120,6 +126,7 @@ def run_prediction_only(
     predictor: MDPredictor,
     f1_period: Optional[int] = None,
     warmup: int = 0,
+    telemetry: bool = False,
 ) -> PredictionRunResult:
     """Replay ``trace`` through ``predictor`` and classify every load.
 
@@ -127,12 +134,21 @@ def run_prediction_only(
     are excluded from the accuracy statistics — the paper measures warmed
     SimPoint regions, and cold-start allocations would otherwise dominate
     short synthetic traces.
+
+    ``telemetry`` attaches a :class:`~repro.obs.telemetry.TableTelemetry`
+    sink to the predictor for the duration of the run; the counters are
+    returned in :attr:`PredictionRunResult.telemetry`.
     """
     recorder: Optional[F1Recorder] = None
     if f1_period is not None:
         if not isinstance(predictor, Mascot):
             raise TypeError("F1 recording requires a MASCOT-family predictor")
         recorder = F1Recorder(predictor, period_loads=f1_period)
+    sink = None
+    if telemetry:
+        from ..obs.telemetry import TableTelemetry
+
+        sink = predictor.attach_telemetry(TableTelemetry())
 
     stats = AccuracyStats()
     branch_count = 0
@@ -184,6 +200,7 @@ def run_prediction_only(
         accuracy=stats,
         predictions_per_table=per_table,
         f1_profile=profile,
+        telemetry=sink.to_dict() if sink is not None else None,
     )
 
 

@@ -31,6 +31,7 @@ from .parallel import (
     CacheSpec,
     CellSpec,
     JournalSpec,
+    MetricsSpec,
     ResumeSpec,
     execute_cells,
 )
@@ -147,6 +148,7 @@ def run_ipc_suite(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
 ) -> IpcSuiteResult:
     """Timing-mode sweep; the baseline is added automatically if missing.
 
@@ -170,7 +172,7 @@ def run_ipc_suite(
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
-                                 resume=resume)
+                                 resume=resume, metrics=metrics)
 
     ipc: Dict[str, Dict[str, float]] = {n: {} for n in names}
     stats: Dict[str, Dict[str, PipelineStats]] = {n: {} for n in names}
@@ -204,6 +206,8 @@ def run_accuracy_suite(
     policy: Optional[ResiliencePolicy] = None,
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
+    metrics: MetricsSpec = None,
+    telemetry: bool = False,
 ) -> Dict[str, Dict[str, PredictionRunResult]]:
     """Prediction-only sweep: results[predictor][benchmark].
 
@@ -214,6 +218,10 @@ def run_accuracy_suite(
     :func:`run_ipc_suite`.  Under ``--keep-going`` a failed cell's value
     is its :class:`~repro.experiments.resilience.CellFailure` placeholder;
     aggregating callers skip those with an ``isinstance`` check.
+    ``telemetry`` attaches per-table counting sinks (Fig. 13); the
+    counters come back in each result's ``telemetry`` dict.  ``metrics``
+    streams per-cell execution records as JSONL (see
+    :data:`~repro.experiments.parallel.MetricsSpec`).
     """
     if warmup is None:
         warmup = num_uops // 4
@@ -222,12 +230,12 @@ def run_accuracy_suite(
     names = list(predictors)
     cells = [
         CellSpec(mode="accuracy", benchmark=bench, num_uops=num_uops,
-                 predictor=name, warmup=warmup)
+                 predictor=name, warmup=warmup, telemetry=telemetry)
         for bench in benchmarks for name in names
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
-                                 resume=resume)
+                                 resume=resume, metrics=metrics)
 
     results: Dict[str, Dict[str, PredictionRunResult]] = {
         n: {} for n in names

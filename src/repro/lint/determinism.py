@@ -28,6 +28,12 @@ entropy sources:
   surface (:data:`SANCTIONED_ENV_MODULES`: the result-cache / journal
   directory overrides and the fault-injection switch): hidden env inputs
   make identical-looking cells differ between hosts.
+* ``det-write``         — file writes (``open`` in a ``w``/``a``/``x``/``+``
+  mode, ``Path.write_text``/``write_bytes``, ``Path.open("w")``) outside
+  the sanctioned output surface (:data:`SANCTIONED_WRITE_MODULES`: trace
+  serialisation, metrics/telemetry emission, the cache, journal, export
+  and lint-baseline writers).  A stray write from simulation code can
+  race across workers and silently change what a cached cell means.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from .index import PackageIndex
 from .source import SourceModule
 
 __all__ = ["RULES", "check", "MONOTONIC_CLOCK_MODULES",
-           "SANCTIONED_ENV_MODULES"]
+           "SANCTIONED_ENV_MODULES", "SANCTIONED_WRITE_MODULES"]
 
 RULES: Dict[str, str] = {
     "det-unseeded-rng": "unseeded or process-global random number generator",
@@ -50,6 +56,7 @@ RULES: Dict[str, str] = {
     "det-hash": "hash() outside __hash__ is salted per process",
     "det-set-order": "iteration over an unordered set without sorted()",
     "det-env": "environment read outside the sanctioned config surface",
+    "det-write": "file write outside the sanctioned output surface",
 }
 
 #: Modules allowed to read the environment: the result-cache / run-journal
@@ -66,6 +73,21 @@ SANCTIONED_ENV_MODULES = frozenset({
 #: supervisor loop, which needs deadlines and backoff scheduling.  Clock
 #: values there drive *when* a cell runs, never *what* it computes.
 MONOTONIC_CLOCK_MODULES = frozenset({"repro.experiments.parallel"})
+
+#: Modules allowed to open files for writing.  Everything else — the
+#: simulator core, predictors, trace generation, figures — must stay
+#: side-effect free so cells are pure functions of their parameters;
+#: telemetry and metrics leave the process only through
+#: ``repro.obs.metrics`` and these writers.
+SANCTIONED_WRITE_MODULES = frozenset({
+    "repro.trace.stream",
+    "repro.obs.metrics",
+    "repro.lint.baseline",
+    "repro.experiments.resilience",
+    "repro.experiments.export",
+    "repro.experiments.result_cache",
+    "repro.experiments.journal",
+})
 
 _RANDOM_DRAWS = frozenset({
     "random", "randint", "randrange", "uniform", "choice", "choices",
@@ -90,6 +112,7 @@ _MONOTONIC_FUNCS = frozenset({
     "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
 })
 _DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+_WRITE_MODE_CHARS = frozenset("wax+")
 _SET_SINKS = frozenset({"list", "tuple", "iter", "enumerate", "sum", "map",
                         "filter", "reversed"})
 
@@ -97,6 +120,26 @@ _SET_SINKS = frozenset({"list", "tuple", "iter", "enumerate", "sum", "map",
 def _resolves_to(index: PackageIndex, module: str, name: str,
                  target: str) -> bool:
     return index.resolve(module, name) == target
+
+
+def _write_mode(node: ast.Call, position: int) -> Optional[str]:
+    """Constant write-mode string of an ``open``-style call, if any.
+
+    ``position`` is where the mode argument sits positionally: 1 for the
+    ``open(file, mode)`` builtin, 0 for ``Path.open(mode)``.  A
+    non-constant mode is treated as read (the common dynamic case is
+    plumbing a caller-supplied "r").
+    """
+    mode: Optional[ast.expr] = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (isinstance(mode, ast.Constant) and isinstance(mode.value, str)
+            and any(c in _WRITE_MODE_CHARS for c in mode.value)):
+        return mode.value
+    return None
 
 
 class _DetVisitor(ast.NodeVisitor):
@@ -242,6 +285,10 @@ class _DetVisitor(ast.NodeVisitor):
                            f"{resolved}() embeds host/OS entropy")
             elif resolved == "os.getenv":
                 self._check_env(node)
+            elif resolved == "open":
+                mode = _write_mode(node, 1)
+                if mode is not None:
+                    self._check_write(node, f"open(..., {mode!r})")
 
         elif isinstance(func, ast.Attribute):
             self._check_attribute_call(node, func)
@@ -252,6 +299,13 @@ class _DetVisitor(ast.NodeVisitor):
                               func: ast.Attribute) -> None:
         attr = func.attr
         value = func.value
+
+        if attr in ("write_text", "write_bytes"):
+            self._check_write(node, f".{attr}()")
+        elif attr == "open":
+            mode = _write_mode(node, 0)
+            if mode is not None:
+                self._check_write(node, f".open({mode!r})")
 
         # <name>.<attr>(...) with <name> an imported module (or class).
         if isinstance(value, ast.Name):
@@ -325,6 +379,17 @@ class _DetVisitor(ast.NodeVisitor):
             self._check_iteration(node.args[0], "str.join()")
 
     # ------------------------------------------------------------------ env
+
+    def _check_write(self, node: ast.AST, description: str) -> None:
+        if self.mod.module in SANCTIONED_WRITE_MODULES:
+            return
+        self._emit(
+            "det-write", node,
+            f"{description} writes a file outside the sanctioned output "
+            "surface (see repro.lint.determinism.SANCTIONED_WRITE_MODULES); "
+            "simulation cells must be pure — emit artifacts through "
+            "repro.obs.metrics or the cache/journal/export writers",
+        )
 
     def _check_env(self, node: ast.AST) -> None:
         if self.mod.module in SANCTIONED_ENV_MODULES:

@@ -1,0 +1,127 @@
+"""Cycle accounting: a CPI-stack over the pipeline's stall taxonomy.
+
+The pipeline is a constraint-based scoreboard: every micro-op's commit
+cycle is the maximum of a handful of explicit constraints (front-end
+bandwidth, redirect barriers, window occupancy, source readiness,
+dependence holds, port contention, execution/memory latency, commit
+width).  Cycle accounting attributes each *measured* micro-op's
+commit-to-commit gap to the constraint that bound it, walking the
+constraint chain top-down with clamping so no cycle is counted twice and
+none is dropped.
+
+The defining invariant — checked by :meth:`CycleStack.validate`, the
+``repro profile`` CLI, CI and a property test — is
+
+    sum(stack.cycles.values()) == stats.cycles
+
+exactly, for every trace, predictor, core and warmup boundary.  Because
+the attribution consumes precisely the measured commit-to-commit gaps,
+any measurement-window bug (a warmup-contaminated counter, a gap
+accounted twice, a cycle outside the measured region leaking in) breaks
+the invariant rather than silently skewing figures.
+
+Categories
+----------
+``frontend``      fetch/decode bandwidth and pipeline depth
+``redirect``      front-end refill after a redirect barrier (branch
+                  mispredictions and memory-order/bypass squash refill)
+``window_rob``    dispatch held for a ROB entry
+``window_iq``     dispatch held for an IQ entry
+``window_lq``     dispatch held for an LQ entry
+``window_sb``     dispatch held for an SB entry
+``src_wait``      issue held for source operands (dataflow)
+``dependence``    issue held by a predicted memory dependence (MDP hold)
+                  or a store serialised behind its store set
+``ports``         issue held by execution-port contention
+``execute``       non-memory execution latency (incl. store completion)
+``memory``        load execution: cache hierarchy or SB forwarding
+``squash``        memory-order violation / bypass-verification recovery
+                  on the squashed load itself (the refill cost younger
+                  ops pay lands in ``redirect``)
+``commit``        in-order commit width/latency, plus the run tail after
+                  the last measured commit
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["CYCLE_CATEGORIES", "CycleAccountingError", "CycleStack"]
+
+#: Attribution categories, in pipeline order (front end → commit).
+CYCLE_CATEGORIES: Tuple[str, ...] = (
+    "frontend",
+    "redirect",
+    "window_rob",
+    "window_iq",
+    "window_lq",
+    "window_sb",
+    "src_wait",
+    "dependence",
+    "ports",
+    "execute",
+    "memory",
+    "squash",
+    "commit",
+)
+
+
+class CycleAccountingError(AssertionError):
+    """The per-category cycles do not sum to the run's measured cycles."""
+
+
+class CycleStack:
+    """Per-category cycle counts for one measured pipeline run."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self) -> None:
+        self.cycles: Dict[str, int] = dict.fromkeys(CYCLE_CATEGORIES, 0)
+
+    def add(self, category: str, cycles: int) -> None:
+        self.cycles[category] += cycles
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    def shares(self) -> Dict[str, float]:
+        """Per-category percentage of the accounted total."""
+        total = max(self.total, 1)
+        return {cat: 100.0 * n / total for cat, n in self.cycles.items()}
+
+    def validate(self, expected_cycles: int) -> None:
+        """Raise :class:`CycleAccountingError` unless the sum is exact."""
+        total = self.total
+        if total != expected_cycles:
+            detail = ", ".join(
+                f"{cat}={n}" for cat, n in self.cycles.items() if n
+            )
+            raise CycleAccountingError(
+                f"cycle stack sums to {total}, pipeline measured "
+                f"{expected_cycles} cycles (delta {total - expected_cycles}); "
+                f"stack: {detail or 'empty'}"
+            )
+        negative = [cat for cat, n in self.cycles.items() if n < 0]
+        if negative:
+            raise CycleAccountingError(
+                f"negative cycle categories: {', '.join(negative)}"
+            )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.cycles)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "CycleStack":
+        stack = cls()
+        for category, count in data.items():
+            if category not in stack.cycles:
+                raise ValueError(f"unknown cycle category {category!r}")
+            stack.cycles[category] = int(count)
+        return stack
+
+    def __repr__(self) -> str:
+        nonzero = {cat: n for cat, n in self.cycles.items() if n}
+        return f"CycleStack(total={self.total}, {nonzero})"

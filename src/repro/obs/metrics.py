@@ -1,0 +1,60 @@
+"""Append-only JSONL sink for suite execution metrics.
+
+The parallel supervisor already computes per-cell wall time, attempts and
+cache provenance for its journal — this writer gives those numbers a
+machine-readable home.  One JSON object per line, keys sorted, written
+with line-granularity appends so a crashed sweep leaves a readable
+prefix.
+
+This module performs no clock or environment reads: durations are
+computed by :mod:`repro.experiments.parallel` (the one module sanctioned
+to read monotonic clocks) and passed in.  File writes live here and in
+the other modules named by ``repro.lint``'s ``det-write`` sanction list —
+the lint rule keeps new write sites from appearing elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["MetricsWriter"]
+
+
+class MetricsWriter:
+    """Write metric records as JSON Lines to ``path``.
+
+    The file is opened lazily on the first :meth:`emit` (a sweep that is
+    fully cache-resolved before any metric fires still creates it — every
+    resolution emits a record) and appended to, so several sweeps can
+    share one metrics file.  ``records`` counts emissions for tests and
+    the end-of-run summary.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.records = 0
+        self._file = None
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "MetricsWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MetricsWriter({str(self.path)!r}, records={self.records})"

@@ -1,0 +1,148 @@
+"""``repro profile``: cycle-stack + table-usage report for one cell.
+
+Runs one (benchmark, predictor) cell through the full timing pipeline
+with cycle accounting enabled and a telemetry sink attached, validates
+the accounting invariant (per-category cycles sum exactly to the
+measured cycle count), and renders both breakdowns.  This is the
+human-facing entry point of :mod:`repro.obs`; the CI profile step calls
+it on a small trace so any drift between the pipeline's stall
+attribution and its cycle counter fails the build.
+
+This module is imported lazily by the CLI so ``import repro.obs`` stays
+free of experiment-layer dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.config import GOLDEN_COVE, CoreConfig
+from ..core.pipeline import Pipeline
+from ..core.stats import PipelineStats
+from .cycles import CYCLE_CATEGORIES, CycleStack
+from .telemetry import TableTelemetry
+
+__all__ = ["ProfileReport", "profile_cell"]
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled cell produced."""
+
+    benchmark: str
+    predictor: str
+    num_uops: int
+    measure_from: int
+    stats: PipelineStats
+    stack: CycleStack
+    telemetry: TableTelemetry
+    #: History lengths of the predictor's tables (empty when the
+    #: predictor has no TAGE-like table geometry to label).
+    history_lengths: Tuple[int, ...] = ()
+
+    def validate(self) -> None:
+        """Raise CycleAccountingError unless the stack sums to cycles."""
+        self.stack.validate(self.stats.cycles)
+
+    def render(self) -> str:
+        from ..experiments.reporting import render_table
+
+        shares = self.stack.shares()
+        cycle_rows = [
+            [category, self.stack.cycles[category], f"{shares[category]:.2f}"]
+            for category in CYCLE_CATEGORIES
+            if self.stack.cycles[category]
+        ]
+        cycle_rows.append(["total", self.stack.total, "100.00"])
+        out = [
+            f"profile: {self.benchmark} / {self.predictor} "
+            f"({self.num_uops} uops, measure_from={self.measure_from})",
+            f"IPC {self.stats.ipc:.3f}  cycles {self.stats.cycles}  "
+            f"instructions {self.stats.instructions}",
+            "",
+            render_table(["category", "cycles", "% of cycles"], cycle_rows,
+                         title="cycle stack"),
+        ]
+        if self.telemetry.num_slots:
+            hits = self.telemetry.provider_hits_by_history(
+                self.history_lengths)
+            table_rows = [
+                [label, self.telemetry.provider_hits[slot],
+                 self.telemetry.allocations[slot],
+                 self.telemetry.nondep_allocations[slot],
+                 self.telemetry.evictions[slot]]
+                for slot, (label, _) in enumerate(hits)
+            ]
+            out.append(render_table(
+                ["table", "provider hits", "allocs", "non-dep", "evictions"],
+                table_rows, title="table usage"))
+        transitions = dict(self.telemetry.confidence_events)
+        transitions.update(self.telemetry.events)
+        if transitions:
+            out.append(render_table(
+                ["event", "count"],
+                sorted(transitions.items()),
+                title="predictor events"))
+        return "\n".join(out)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "predictor": self.predictor,
+            "num_uops": self.num_uops,
+            "measure_from": self.measure_from,
+            "ipc": self.stats.ipc,
+            "cycles": self.stats.cycles,
+            "instructions": self.stats.instructions,
+            "cycle_stack": self.stack.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
+            "history_lengths": list(self.history_lengths),
+        }
+
+
+def _history_lengths(predictor) -> Tuple[int, ...]:
+    lengths = getattr(predictor, "history_lengths", None)
+    if lengths is None:
+        lengths = getattr(getattr(predictor, "config", None),
+                          "history_lengths", None)
+    return tuple(lengths) if lengths is not None else ()
+
+
+def profile_cell(
+    benchmark: str,
+    predictor_name: str,
+    num_uops: int = 40_000,
+    config: CoreConfig = GOLDEN_COVE,
+    measure_from: Optional[int] = None,
+) -> ProfileReport:
+    """Profile one (benchmark, predictor) timing cell.
+
+    ``measure_from`` defaults to a quarter of the trace (the suite's
+    warmed-measurement discipline).  The returned report has *not* been
+    validated — callers decide whether an invariant violation is fatal
+    (the CLI exits non-zero; tests assert).
+    """
+    from ..experiments.runner import default_cache
+    from ..experiments.suite import make_predictor
+
+    if measure_from is None:
+        measure_from = num_uops // 4
+    trace = default_cache().get(
+        benchmark, num_uops,
+        store_window=config.sb_size, instr_window=config.rob_size,
+    )
+    predictor = make_predictor(predictor_name)
+    sink = predictor.attach_telemetry(TableTelemetry())
+    pipeline = Pipeline(predictor, config=config, accounting=True)
+    stats = pipeline.run(trace, measure_from=measure_from)
+    return ProfileReport(
+        benchmark=benchmark,
+        predictor=predictor_name,
+        num_uops=num_uops,
+        measure_from=measure_from,
+        stats=stats,
+        stack=pipeline.cycle_stack,
+        telemetry=sink,
+        history_lengths=_history_lengths(predictor),
+    )

@@ -1,0 +1,155 @@
+"""Concrete predictor telemetry: per-table counters behind TelemetrySink.
+
+:class:`TableTelemetry` records the per-table activity the Fig. 13
+analysis needs — which history length served each prediction, where
+entries were allocated (and how many encode MASCOT's distance=0
+non-dependencies), what was evicted, and how confidence counters moved.
+Predictor code never imports this module: it talks to the abstract
+:class:`~repro.predictors.base.TelemetrySink` protocol, and every hook
+site is guarded by ``if sink is not None`` so an unattached predictor
+pays one attribute read per event at most.
+
+Table slots are allocated lazily as events name them, so the same sink
+class serves MASCOT/PHAST (N history tables + base), NoSQ (path-dependent
+/ path-independent / miss) and Store Sets (hit / miss) without
+per-predictor subclasses.  By convention slot ``len(tables)`` is the
+base/miss slot for TAGE-likes, mirroring ``predictions_per_table``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..predictors.base import TelemetrySink
+
+__all__ = ["TableTelemetry"]
+
+
+class TableTelemetry(TelemetrySink):
+    """Counting sink for per-table predictor events.
+
+    ``provider_hits[t]`` mirrors the ad-hoc ``predictions_per_table``
+    counters of the TAGE-like predictors exactly (a consistency test
+    enforces this), so Fig. 13 can read either; telemetry additionally
+    splits allocations into dependence vs non-dependence per table and
+    counts evictions and confidence transitions, which the ad-hoc
+    counters never captured.
+    """
+
+    def __init__(self, num_tables: Optional[int] = None) -> None:
+        slots = (num_tables + 1) if num_tables is not None else 0
+        self.lookups = 0
+        self.provider_hits: List[int] = [0] * slots
+        self.allocations: List[int] = [0] * slots
+        self.nondep_allocations: List[int] = [0] * slots
+        self.evictions: List[int] = [0] * slots
+        self.confidence_events: Dict[str, int] = {}
+        self.events: Dict[str, int] = {}
+
+    # -- sink protocol ---------------------------------------------------------
+
+    def lookup(self, table: int) -> None:
+        self.lookups += 1
+        self._ensure(table)
+        self.provider_hits[table] += 1
+
+    def allocation(self, table: int, distance: int) -> None:
+        self._ensure(table)
+        self.allocations[table] += 1
+        if distance == 0:
+            self.nondep_allocations[table] += 1
+
+    def eviction(self, table: int) -> None:
+        self._ensure(table)
+        self.evictions[table] += 1
+
+    def confidence(self, table: int, event: str) -> None:
+        counts = self.confidence_events
+        counts[event] = counts.get(event, 0) + 1
+
+    def event(self, name: str) -> None:
+        self.events[name] = self.events.get(name, 0) + 1
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _ensure(self, table: int) -> None:
+        """Grow every per-table list to cover slot ``table``."""
+        needed = table + 1 - len(self.provider_hits)
+        if needed > 0:
+            for counters in (self.provider_hits, self.allocations,
+                             self.nondep_allocations, self.evictions):
+                counters.extend([0] * needed)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.provider_hits)
+
+    def provider_hits_by_history(
+        self, history_lengths: Sequence[int]
+    ) -> List[tuple]:
+        """(label, hits) rows pairing tables with their history lengths.
+
+        Slots beyond the named tables (the base predictor for TAGE-likes)
+        are labelled ``base``.
+        """
+        rows = []
+        for slot in range(self.num_slots):
+            if slot < len(history_lengths):
+                label = f"h={history_lengths[slot]}"
+            else:
+                label = "base"
+            rows.append((label, self.provider_hits[slot]))
+        return rows
+
+    def merge(self, other: "TableTelemetry") -> None:
+        """Accumulate another sink's counts into this one (suite totals)."""
+        self.lookups += other.lookups
+        self._ensure(max(other.num_slots - 1, -1))
+        for mine, theirs in (
+            (self.provider_hits, other.provider_hits),
+            (self.allocations, other.allocations),
+            (self.nondep_allocations, other.nondep_allocations),
+            (self.evictions, other.evictions),
+        ):
+            for slot, count in enumerate(theirs):
+                mine[slot] += count
+        for event, count in other.confidence_events.items():
+            self.confidence_events[event] = (
+                self.confidence_events.get(event, 0) + count
+            )
+        for event, count in other.events.items():
+            self.events[event] = self.events.get(event, 0) + count
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lookups": self.lookups,
+            "provider_hits": list(self.provider_hits),
+            "allocations": list(self.allocations),
+            "nondep_allocations": list(self.nondep_allocations),
+            "evictions": list(self.evictions),
+            "confidence_events": dict(self.confidence_events),
+            "events": dict(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TableTelemetry":
+        sink = cls()
+        sink.lookups = int(data["lookups"])
+        sink.provider_hits = [int(n) for n in data["provider_hits"]]
+        sink.allocations = [int(n) for n in data["allocations"]]
+        sink.nondep_allocations = [int(n)
+                                   for n in data["nondep_allocations"]]
+        sink.evictions = [int(n) for n in data["evictions"]]
+        sink.confidence_events = {
+            str(k): int(v) for k, v in dict(data["confidence_events"]).items()
+        }
+        sink.events = {
+            str(k): int(v) for k, v in dict(data["events"]).items()
+        }
+        return sink
+
+    def __repr__(self) -> str:
+        return (f"TableTelemetry(lookups={self.lookups}, "
+                f"provider_hits={self.provider_hits})")

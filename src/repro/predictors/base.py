@@ -26,7 +26,42 @@ from typing import Any, Dict, Optional
 
 from ..trace.uop import SAME_ADDRESS_BYPASSABLE, BypassClass, MicroOp
 
-__all__ = ["PredictionKind", "Prediction", "ActualOutcome", "MDPredictor"]
+__all__ = ["PredictionKind", "Prediction", "ActualOutcome", "MDPredictor",
+           "TelemetrySink"]
+
+
+class TelemetrySink:
+    """Observation protocol for predictor-internal events.
+
+    Predictors report to an attached sink from their hot paths; every
+    call site is guarded by ``if sink is not None``, so an unattached
+    predictor (the default) pays a single attribute read per event at
+    most.  The concrete counting sink lives in
+    :mod:`repro.obs.telemetry`; this base class doubles as the no-op
+    implementation so partial sinks can override only what they need.
+
+    Table numbering follows each predictor's own convention; TAGE-likes
+    use ``len(tables)`` for the base (no-match) slot, mirroring their
+    ``predictions_per_table`` counters.
+    """
+
+    def lookup(self, table: int) -> None:
+        """A prediction was served by ``table`` (provider hit)."""
+
+    def allocation(self, table: int, distance: int) -> None:
+        """An entry was written into ``table``; ``distance == 0`` marks a
+        MASCOT-style non-dependence entry."""
+
+    def eviction(self, table: int) -> None:
+        """An allocation displaced a live entry in ``table``."""
+
+    def confidence(self, table: int, event: str) -> None:
+        """A confidence/usefulness counter moved (``up``/``down``/
+        ``reset``/``bypass_up``/``bypass_reset``)."""
+
+    def event(self, name: str) -> None:
+        """A named predictor-specific event (e.g. ``allocation_failure``,
+        ``cyclic_clear``, ``set_merge``)."""
 
 
 class PredictionKind(enum.Enum):
@@ -115,6 +150,10 @@ class MDPredictor(abc.ABC):
     #: Human-readable name used in figures and reports.
     name: str = "predictor"
 
+    #: Attached observation sink, or None (the default: zero overhead
+    #: beyond the guard reads).  Set via :meth:`attach_telemetry`.
+    telemetry: Optional[TelemetrySink] = None
+
     #: Whether this predictor is an oracle that may read the trace's
     #: ground-truth annotations at predict time.  ``repro lint``'s
     #: oracle-leak rule keys on this marker: any ``predict()`` path of a
@@ -155,6 +194,18 @@ class MDPredictor(abc.ABC):
         windows.  ``None`` (the default) imposes no ordering.
         """
         return None
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_telemetry(self, sink: TelemetrySink) -> TelemetrySink:
+        """Attach an observation sink; returns it for chaining.
+
+        Attaching is the opt-in: without it every hook site reduces to a
+        ``None`` check.  Pass ``None``-able sinks through
+        :attr:`telemetry` directly only in tests.
+        """
+        self.telemetry = sink
+        return sink
 
     # -- introspection ---------------------------------------------------------
 

@@ -127,13 +127,18 @@ class Mascot(MDPredictor):
         keys = self.bank.keys(uop.pc)
         table, way, entry = self._lookup(keys)
         meta = {"keys": keys, "way": way}
+        sink = self.telemetry
 
         if entry is None:
             # Base prediction: no dependence (Sec. IV-B).
             self.predictions_per_table[len(self.bank)] += 1
+            if sink is not None:
+                sink.lookup(len(self.bank))
             return Prediction(PredictionKind.NO_DEP, meta=meta)
 
         self.predictions_per_table[table] += 1
+        if sink is not None:
+            sink.lookup(table)
         if entry.is_nondependence:
             return Prediction(
                 PredictionKind.NO_DEP, source_table=table, meta=meta
@@ -161,6 +166,7 @@ class Mascot(MDPredictor):
         keys: Tuple[TableKey, ...] = prediction.meta["keys"]
         source = prediction.source_table
         entry = self._reacquire(keys, source)
+        sink = self.telemetry
 
         predicted_dep = prediction.predicts_dependence
         actual_dep = actual.has_dependence
@@ -172,6 +178,8 @@ class Mascot(MDPredictor):
             if entry is not None and entry.is_nondependence:
                 entry.usefulness = self._bump(entry.usefulness, True,
                                               self._useful_max)
+                if sink is not None:
+                    sink.confidence(source, "up")
                 if self.track_f1:
                     entry.tp += 1  # for ND entries, "positive" = non-dep
         elif not predicted_dep and actual_dep:
@@ -180,6 +188,8 @@ class Mascot(MDPredictor):
             if entry is not None:
                 entry.usefulness = self._bump(entry.usefulness, False,
                                               self._useful_max)
+                if sink is not None:
+                    sink.confidence(source, "down")
                 if self.track_f1:
                     entry.fn += 1
             self._allocate(
@@ -198,6 +208,10 @@ class Mascot(MDPredictor):
                                               self._useful_max)
                 if prediction.kind is PredictionKind.SMB:
                     entry.bypass = 0
+                if sink is not None:
+                    sink.confidence(source, "down")
+                    if prediction.kind is PredictionKind.SMB:
+                        sink.confidence(source, "bypass_reset")
                 if self.track_f1:
                     entry.fp += 1
             if self.config.allocate_nondependencies:
@@ -213,17 +227,23 @@ class Mascot(MDPredictor):
                 if entry is not None:
                     entry.usefulness = self._bump(entry.usefulness, True,
                                                   self._useful_max)
+                    if sink is not None:
+                        sink.confidence(source, "up")
                     if actual.bypass.is_bypassable and self._supported_bypass(
                         actual.bypass
                     ):
                         entry.bypass = self._bump(entry.bypass, True,
                                                   self._bypass_max)
+                        if sink is not None:
+                            sink.confidence(source, "bypass_up")
                     else:
                         # An SMB prediction here was wrong (partial overlap
                         # or unsupported geometry): reset; and even without
                         # an SMB prediction, a non-bypassable instance
                         # restarts confidence building.
                         entry.bypass = 0
+                        if sink is not None:
+                            sink.confidence(source, "bypass_reset")
                     if self.track_f1:
                         entry.tp += 1
             else:
@@ -234,6 +254,10 @@ class Mascot(MDPredictor):
                                                   self._useful_max)
                     if prediction.kind is PredictionKind.SMB:
                         entry.bypass = 0
+                    if sink is not None:
+                        sink.confidence(source, "down")
+                        if prediction.kind is PredictionKind.SMB:
+                            sink.confidence(source, "bypass_reset")
                     if self.track_f1:
                         entry.fp += 1
                 self._allocate(
@@ -281,6 +305,7 @@ class Mascot(MDPredictor):
         start = min(start, len(self.bank) - 1)
         is_nondep = distance == 0
         allocated_table: Optional[int] = None
+        sink = self.telemetry
 
         for t in range(start, len(self.bank)):
             key = keys[t]
@@ -294,6 +319,10 @@ class Mascot(MDPredictor):
                     victim = w
                     break
             if victim is not None:
+                if sink is not None:
+                    if ways[victim] is not None:
+                        sink.eviction(t)
+                    sink.allocation(t, distance)
                 if is_nondep:
                     usefulness = self.config.alloc_usefulness_nondep
                     bypass = 0
@@ -315,6 +344,8 @@ class Mascot(MDPredictor):
             if t == start:
                 # First-target failure: age the whole set.
                 self.allocation_failures += 1
+                if sink is not None:
+                    sink.event("allocation_failure")
                 for entry in ways:
                     if entry is not None:
                         entry.usefulness = max(0, entry.usefulness - 1)

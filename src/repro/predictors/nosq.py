@@ -104,10 +104,13 @@ class NoSQ(MDPredictor):
     def predict(self, uop: MicroOp) -> Prediction:
         dep_key, ind_key = self._keys(uop.pc)
         meta = {"dep_key": dep_key, "ind_key": ind_key}
+        sink = self.telemetry
 
         entry = self._find(0, *dep_key)
         if entry is not None:
             self._touch(0, dep_key[0], entry)
+            if sink is not None:
+                sink.lookup(0)
             if entry.confidence >= self.smb_confidence:
                 return Prediction(PredictionKind.SMB, distance=entry.distance,
                                   source_table=0, meta=meta)
@@ -118,9 +121,13 @@ class NoSQ(MDPredictor):
         if entry is not None:
             # Path-independent predictions never perform SMB (Sec. V).
             self._touch(1, ind_key[0], entry)
+            if sink is not None:
+                sink.lookup(1)
             return Prediction(PredictionKind.MDP, distance=entry.distance,
                               source_table=1, meta=meta)
 
+        if sink is not None:
+            sink.lookup(2)
         return Prediction(PredictionKind.NO_DEP, meta=meta)
 
     def _touch(self, table: int, index: int, used: NoSQEntry) -> None:
@@ -140,6 +147,7 @@ class NoSQ(MDPredictor):
         ind_key = prediction.meta["ind_key"]
         dep_entry = self._find(0, *dep_key)
         ind_entry = self._find(1, *ind_key)
+        sink = self.telemetry
 
         if actual.has_dependence:
             distance = min(actual.distance, self._distance_max)
@@ -155,25 +163,34 @@ class NoSQ(MDPredictor):
                     if bypassable or table == 1:
                         entry.confidence = min(self._confidence_max,
                                                entry.confidence + 1)
+                        if sink is not None:
+                            sink.confidence(table, "up")
                     else:
                         entry.confidence = 0
+                        if sink is not None:
+                            sink.confidence(table, "bypass_reset")
                 else:
                     self._install(table, key, distance)
         else:
             # False dependence: reset confidence (no non-dependence memory).
-            for entry in (dep_entry, ind_entry):
+            for table, entry in ((0, dep_entry), (1, ind_entry)):
                 if entry is not None:
                     entry.confidence = 0
+                    if sink is not None:
+                        sink.confidence(table, "reset")
 
     def _install(self, table: int, key: Tuple[int, int], distance: int) -> None:
         index, tag = key
         ways = self._tables[table][index]
+        sink = self.telemetry
         # Retrain in place when the tag is already resident (wrong-distance
         # case) so a stale duplicate cannot shadow the update.
         for entry in ways:
             if entry is not None and entry.tag == tag:
                 entry.distance = distance
                 entry.confidence = 1
+                if sink is not None:
+                    sink.confidence(table, "reset")
                 return
         victim: Optional[int] = None
         for w, entry in enumerate(ways):
@@ -184,6 +201,10 @@ class NoSQ(MDPredictor):
             victim = max(
                 (entry.lru, w) for w, entry in enumerate(ways)
             )[1]
+        if sink is not None:
+            if ways[victim] is not None:
+                sink.eviction(table)
+            sink.allocation(table, distance)
         ways[victim] = NoSQEntry(tag=tag, distance=distance, confidence=1)
 
     # -------------------------------------------------------------------- events

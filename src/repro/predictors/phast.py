@@ -89,6 +89,7 @@ class Phast(MDPredictor):
         keys = self.bank.keys(uop.pc)
         table, entry = self._lookup(keys)
         meta = {"keys": keys}
+        sink = self.telemetry
         # PHAST predicts a dependence on any tag hit; the usefulness counter
         # only protects entries from eviction.  This is what makes false
         # dependencies PHAST's dominant error class (Fig. 8): a conditional
@@ -96,8 +97,12 @@ class Phast(MDPredictor):
         # counter, not by recording the non-dependence context.
         if entry is None:
             self.predictions_per_table[len(self.bank)] += 1
+            if sink is not None:
+                sink.lookup(len(self.bank))
             return Prediction(PredictionKind.NO_DEP, meta=meta)
         self.predictions_per_table[table] += 1
+        if sink is not None:
+            sink.lookup(table)
         self._touch_lru(table, keys[table], entry)
         return Prediction(
             PredictionKind.MDP, distance=entry.distance,
@@ -120,6 +125,7 @@ class Phast(MDPredictor):
         keys: Tuple[TableKey, ...] = prediction.meta["keys"]
         source = prediction.source_table
         entry = self._reacquire(keys, source)
+        sink = self.telemetry
         actual_distance = min(actual.distance, self._distance_max)
 
         predicted_dep = prediction.predicts_dependence
@@ -128,14 +134,20 @@ class Phast(MDPredictor):
                 if entry is not None:
                     entry.usefulness = min(self._useful_max,
                                            entry.usefulness + 1)
+                    if sink is not None:
+                        sink.confidence(source, "up")
             else:
                 if entry is not None:
                     entry.usefulness = max(0, entry.usefulness - 1)
+                    if sink is not None:
+                        sink.confidence(source, "down")
                 self._allocate(keys, actual)
         elif predicted_dep and not actual.has_dependence:
             # False dependence: PHAST only decays (no non-dependence entry).
             if entry is not None:
                 entry.usefulness = max(0, entry.usefulness - 1)
+                if sink is not None:
+                    sink.confidence(source, "down")
         elif not predicted_dep and actual.has_dependence:
             # Missed dependence: learn the pair in the branch-distance table.
             self._allocate(keys, actual)
@@ -165,6 +177,7 @@ class Phast(MDPredictor):
         key = keys[table]
         ways = self.bank[table].ways_at(key.index)
         distance = min(actual.distance, self._distance_max)
+        sink = self.telemetry
 
         # Victim selection: empty way, else LRU among drained (usefulness 0)
         # entries; if every way is still useful, age the LRU entry instead
@@ -187,7 +200,14 @@ class Phast(MDPredictor):
                 if entry is not None
             )[1]
             ways[oldest].usefulness = max(0, ways[oldest].usefulness - 1)
+            if sink is not None:
+                sink.event("allocation_deferred")
+                sink.confidence(table, "down")
             return
+        if sink is not None:
+            if ways[victim] is not None:
+                sink.eviction(table)
+            sink.allocation(table, distance)
         self.bank[table].write(
             key.index, victim,
             PhastEntry(tag=key.tag, distance=distance,

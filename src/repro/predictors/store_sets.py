@@ -93,6 +93,9 @@ class StoreSets(MDPredictor):
         if self.clear_interval and self._accesses % self.clear_interval == 0:
             self._ssit = [None] * self.ssit_entries
             self._lfst = [None] * self.lfst_entries
+            sink = self.telemetry
+            if sink is not None:
+                sink.event("cyclic_clear")
 
     # ------------------------------------------------------------------- events
 
@@ -117,13 +120,20 @@ class StoreSets(MDPredictor):
 
     def predict(self, uop: MicroOp) -> Prediction:
         self._maybe_clear()
+        sink = self.telemetry
         ssid = self._ssit[self._ssit_index(uop.pc)]
         if ssid is None:
+            if sink is not None:
+                sink.lookup(1)
             return Prediction(PredictionKind.NO_DEP)
         store_seq = self._lfst[ssid]
         if store_seq is None or uop.seq - store_seq > self.instr_window:
             # The last fetched store has long since drained: no constraint.
+            if sink is not None:
+                sink.lookup(1)
             return Prediction(PredictionKind.NO_DEP)
+        if sink is not None:
+            sink.lookup(0)
         return Prediction(PredictionKind.MDP, store_seq=store_seq,
                           meta={"ssid": ssid})
 
@@ -148,6 +158,9 @@ class StoreSets(MDPredictor):
             # orders it behind the true store): no violation, no training.
             return
         self.violations_trained += 1
+        sink = self.telemetry
+        if sink is not None:
+            sink.event("violation_trained")
         self._assign(self._ssit_index(uop.pc), actual)
 
     def _assign(self, load_index: int, actual: ActualOutcome) -> None:
@@ -157,20 +170,29 @@ class StoreSets(MDPredictor):
         store_index = self._ssit_index(store_pc)
         load_ssid = self._ssit[load_index]
         store_ssid = self._ssit[store_index]
+        sink = self.telemetry
 
         if load_ssid is None and store_ssid is None:
             ssid = self._new_ssid()
             self._ssit[load_index] = ssid
             self._ssit[store_index] = ssid
+            if sink is not None:
+                sink.allocation(0, actual.distance)
         elif load_ssid is not None and store_ssid is None:
             self._ssit[store_index] = load_ssid
+            if sink is not None:
+                sink.allocation(0, actual.distance)
         elif load_ssid is None and store_ssid is not None:
             self._ssit[load_index] = store_ssid
+            if sink is not None:
+                sink.allocation(0, actual.distance)
         else:
             # Both assigned: converge on the smaller SSID (declawed merge).
             winner = min(load_ssid, store_ssid)
             self._ssit[load_index] = winner
             self._ssit[store_index] = winner
+            if sink is not None:
+                sink.event("set_merge")
 
     # --------------------------------------------------------------------- misc
 

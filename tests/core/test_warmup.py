@@ -53,6 +53,44 @@ class TestMeasureFrom:
         stats = Pipeline(PerfectMDP()).run(trace, measure_from=1_000)
         assert stats.instructions == 0
 
+    def test_branch_stats_cover_measured_window_only(self):
+        """Regression: branch mispredictions were copied from the full
+        run while ``stats.branches`` counted only measured uops, so
+        warmed MPKI mixed windows.  The branch predictor is timing-
+        independent (it sees only the (pc, taken) stream), so the
+        measured-window counts must equal full-run minus prefix-run."""
+        trace = small_trace("perlbench1", 16_000)
+        boundary = 8_000
+        full = Pipeline(PerfectMDP()).run(trace)
+        prefix = Pipeline(PerfectMDP()).run(trace[:boundary])
+        warmed = Pipeline(PerfectMDP()).run(trace, measure_from=boundary)
+        # The warmup prefix must itself contain mispredictions, otherwise
+        # this test cannot distinguish fixed from broken accounting.
+        assert prefix.branch_mispredictions > 0
+        assert warmed.branch_mispredictions == (
+            full.branch_mispredictions - prefix.branch_mispredictions
+        )
+        assert warmed.indirect_mispredictions == (
+            full.indirect_mispredictions - prefix.indirect_mispredictions
+        )
+        assert warmed.branch_mispredictions < full.branch_mispredictions
+
+    def test_branch_mpki_uses_consistent_window(self):
+        trace = small_trace("perlbench1", 16_000)
+        warmed = Pipeline(PerfectMDP()).run(trace, measure_from=8_000)
+        # MPKI must be computable from same-window numerator/denominator:
+        # a full-run numerator over a half-run denominator would roughly
+        # double it.
+        assert warmed.branch_mpki == (
+            1000.0 * warmed.branch_mispredictions / warmed.instructions
+        )
+
+    def test_degenerate_full_warmup_has_no_mispredictions(self):
+        trace = small_trace("perlbench1", 4_000)
+        stats = Pipeline(PerfectMDP()).run(trace, measure_from=4_000)
+        assert stats.branch_mispredictions == 0
+        assert stats.indirect_mispredictions == 0
+
     def test_predictor_still_trains_during_warmup(self):
         """Mispredictions in the measured region should be fewer after a
         warmup prefix than from a cold start over the same region."""

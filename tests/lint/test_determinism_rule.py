@@ -292,3 +292,88 @@ class TestResilienceSurface:
             return os.environ.get("REPRO_FAULT_INJECT", "")
         """)
         assert box.active_rules() == []
+
+
+class TestFileWrites:
+    """det-write: file writes confined to the sanctioned output surface."""
+
+    def test_open_for_write_flagged(self, box):
+        box.write("cell.py", """
+        def dump(rows):
+            with open("debug.txt", "w") as handle:
+                handle.write(repr(rows))
+        """)
+        assert box.active_rules() == ["det-write"]
+
+    def test_append_and_exclusive_modes_flagged(self, box):
+        box.write("cell.py", """
+        def log(line, path):
+            open(path, mode="a").write(line)
+
+
+        def create(path):
+            return open(path, "x")
+        """)
+        assert box.active_rules() == ["det-write", "det-write"]
+
+    def test_read_mode_is_clean(self, box):
+        box.write("cell.py", """
+        def slurp(path):
+            with open(path) as handle:
+                return handle.read()
+
+
+        def slurp_binary(path):
+            return open(path, "rb").read()
+        """)
+        assert box.active_rules() == []
+
+    def test_path_write_text_flagged(self, box):
+        box.write("cell.py", """
+        from pathlib import Path
+
+
+        def dump(path, text):
+            Path(path).write_text(text)
+        """)
+        assert box.active_rules() == ["det-write"]
+
+    def test_path_open_write_mode_flagged(self, box):
+        box.write("cell.py", """
+        from pathlib import Path
+
+
+        def appender(path):
+            return Path(path).open("a")
+        """)
+        assert box.active_rules() == ["det-write"]
+
+    def test_path_open_read_mode_is_clean(self, box):
+        box.write("cell.py", """
+        from pathlib import Path
+
+
+        def reader(path):
+            return Path(path).open("r")
+        """)
+        assert box.active_rules() == []
+
+    def test_metrics_writer_is_sanctioned(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/obs/__init__.py", "")
+        box.write("repro/obs/metrics.py", """
+        def emit(path, line):
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\\n")
+        """)
+        assert box.active_rules() == []
+
+    def test_trace_serialisation_is_sanctioned(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/trace/__init__.py", "")
+        box.write("repro/trace/stream.py", """
+        def write_trace(path, lines):
+            with open(path, "w") as handle:
+                handle.writelines(lines)
+        """)
+        assert box.active_rules() == []

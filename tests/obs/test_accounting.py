@@ -1,0 +1,102 @@
+"""The cycle-accounting invariant: categories sum exactly to stats.cycles.
+
+These are the property tests the ISSUE calls for: random (generator)
+traces across benchmarks, predictors, cores and warmup boundaries, always
+checking ``sum(stack.cycles.values()) == stats.cycles`` exactly — plus
+guards that accounting is opt-in and perturbs nothing.
+"""
+
+import pytest
+
+from repro.core.config import GOLDEN_COVE, LION_COVE
+from repro.core.pipeline import Pipeline
+from repro.predictors.mascot import Mascot
+from repro.predictors.perfect import PerfectMDP
+from repro.predictors.store_sets import StoreSets
+from repro.trace.uop import MicroOp, OpClass
+
+from tests.conftest import small_trace
+
+PREDICTORS = {
+    "perfect-mdp": PerfectMDP,
+    "mascot": Mascot,
+    "store-sets": StoreSets,
+}
+
+
+def run_accounted(trace, predictor, config=GOLDEN_COVE, measure_from=0):
+    pipeline = Pipeline(predictor, config=config, accounting=True)
+    stats = pipeline.run(trace, measure_from=measure_from)
+    return stats, pipeline.cycle_stack
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("bench", ["perlbench1", "lbm", "exchange2"])
+    @pytest.mark.parametrize("name", sorted(PREDICTORS))
+    def test_sums_to_cycles(self, bench, name):
+        trace = small_trace(bench, 8_000)
+        stats, stack = run_accounted(trace, PREDICTORS[name]())
+        stack.validate(stats.cycles)
+
+    @pytest.mark.parametrize("measure_from", [0, 1, 1_999, 2_000, 6_000])
+    def test_holds_for_any_warmup_boundary(self, measure_from):
+        trace = small_trace("gcc1", 6_000)
+        stats, stack = run_accounted(trace, Mascot(),
+                                     measure_from=measure_from)
+        stack.validate(stats.cycles)
+
+    def test_holds_on_lion_cove(self):
+        trace = small_trace("xalancbmk", 6_000)
+        stats, stack = run_accounted(trace, Mascot(), config=LION_COVE,
+                                     measure_from=1_500)
+        stack.validate(stats.cycles)
+
+    def test_holds_on_tiny_windows(self):
+        # Tiny buffers force window-occupancy stalls the default core
+        # never sees; the invariant must survive them.
+        config = GOLDEN_COVE.with_(rob_size=8, iq_size=4, lq_size=4,
+                                   sb_size=2)
+        trace = small_trace("perlbench1", 4_000)
+        stats, stack = run_accounted(trace, PerfectMDP(), config=config)
+        stack.validate(stats.cycles)
+
+    def test_degenerate_full_warmup(self):
+        trace = small_trace("exchange2", 1_000)
+        stats, stack = run_accounted(trace, PerfectMDP(),
+                                     measure_from=1_000)
+        stack.validate(stats.cycles)
+
+    def test_measured_region_attributes_real_stalls(self):
+        trace = small_trace("perlbench1", 8_000)
+        stats, stack = run_accounted(trace, Mascot(), measure_from=2_000)
+        # A realistic trace always exercises the memory hierarchy, and
+        # branch mispredictions in the measured region must surface as
+        # redirect refill cycles.
+        assert stack.cycles["memory"] > 0
+        assert stats.branch_mispredictions > 0
+        assert stack.cycles["redirect"] > 0
+
+    def test_sb_pressure_lands_in_window_sb(self):
+        config = GOLDEN_COVE.with_(sb_size=2)
+        stores = [
+            MicroOp(seq, 0x400000 + 4 * seq, OpClass.STORE,
+                    address=0x10000 + 8 * seq, size=8)
+            for seq in range(400)
+        ]
+        stats, stack = run_accounted(stores, PerfectMDP(), config=config)
+        stack.validate(stats.cycles)
+        assert stack.cycles["window_sb"] > 0
+
+
+class TestAccountingIsOptIn:
+    def test_off_by_default(self):
+        pipeline = Pipeline(PerfectMDP())
+        pipeline.run(small_trace("exchange2", 1_000))
+        with pytest.raises(RuntimeError, match="accounting=True"):
+            pipeline.cycle_stack
+
+    def test_does_not_perturb_statistics(self):
+        trace = small_trace("perlbench1", 6_000)
+        plain = Pipeline(Mascot()).run(trace, measure_from=1_500)
+        accounted, _ = run_accounted(trace, Mascot(), measure_from=1_500)
+        assert accounted.to_dict() == plain.to_dict()

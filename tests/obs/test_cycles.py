@@ -1,0 +1,66 @@
+"""Unit tests for the CPI-stack container."""
+
+import pytest
+
+from repro.obs.cycles import CYCLE_CATEGORIES, CycleAccountingError, CycleStack
+
+
+class TestCycleStack:
+    def test_starts_empty_with_every_category(self):
+        stack = CycleStack()
+        assert set(stack.cycles) == set(CYCLE_CATEGORIES)
+        assert stack.total == 0
+
+    def test_add_accumulates(self):
+        stack = CycleStack()
+        stack.add("memory", 10)
+        stack.add("memory", 5)
+        stack.add("commit", 1)
+        assert stack.cycles["memory"] == 15
+        assert stack.total == 16
+
+    def test_unknown_category_rejected(self):
+        stack = CycleStack()
+        with pytest.raises(KeyError):
+            stack.add("retire", 1)
+
+    def test_validate_passes_on_exact_sum(self):
+        stack = CycleStack()
+        stack.add("frontend", 3)
+        stack.add("memory", 7)
+        stack.validate(10)
+
+    def test_validate_raises_on_mismatch(self):
+        stack = CycleStack()
+        stack.add("memory", 7)
+        with pytest.raises(CycleAccountingError, match="delta -3"):
+            stack.validate(10)
+
+    def test_validate_raises_on_negative_category(self):
+        stack = CycleStack()
+        stack.add("memory", 7)
+        stack.add("commit", -7)
+        with pytest.raises(CycleAccountingError, match="negative"):
+            stack.validate(0)
+
+    def test_shares_are_percentages(self):
+        stack = CycleStack()
+        stack.add("memory", 3)
+        stack.add("commit", 1)
+        shares = stack.shares()
+        assert shares["memory"] == pytest.approx(75.0)
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_shares_of_empty_stack_are_zero(self):
+        assert all(v == 0.0 for v in CycleStack().shares().values())
+
+    def test_dict_round_trip(self):
+        stack = CycleStack()
+        stack.add("squash", 4)
+        stack.add("window_sb", 2)
+        again = CycleStack.from_dict(stack.to_dict())
+        assert again.cycles == stack.cycles
+
+    def test_from_dict_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown cycle category"):
+            CycleStack.from_dict({"warp_drive": 1})

@@ -1,0 +1,50 @@
+"""profile_cell and the ``repro profile`` CLI subcommand."""
+
+import json
+
+from repro.cli import main
+from repro.obs.profile import profile_cell
+
+
+class TestProfileCell:
+    def test_report_validates_and_serialises(self):
+        report = profile_cell("perlbench1", "mascot", 6_000)
+        report.validate()
+        assert report.measure_from == 1_500
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["cycles"] == report.stats.cycles
+        assert sum(payload["cycle_stack"].values()) == payload["cycles"]
+        assert payload["history_lengths"]  # mascot has TAGE geometry
+
+    def test_render_contains_stack_and_tables(self):
+        report = profile_cell("perlbench1", "mascot", 6_000)
+        text = report.render()
+        assert "cycle stack" in text
+        assert "table usage" in text
+        assert "memory" in text
+        assert f"cycles {report.stats.cycles}" in text
+
+    def test_predictor_without_tables_still_profiles(self):
+        report = profile_cell("lbm", "perfect-mdp", 4_000)
+        report.validate()
+        assert report.history_lengths == ()
+
+    def test_explicit_measure_from(self):
+        report = profile_cell("exchange2", "store-sets", 4_000,
+                              measure_from=0)
+        report.validate()
+        assert report.stats.instructions == 4_000
+
+
+class TestProfileCommand:
+    def test_exit_zero_and_renders(self, capsys):
+        assert main(["profile", "perlbench1", "mascot",
+                     "--uops", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle stack" in out
+
+    def test_json_output(self, capsys):
+        assert main(["profile", "lbm", "store-sets", "--uops", "4000",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sum(payload["cycle_stack"].values()) == payload["cycles"]

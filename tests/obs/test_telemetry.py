@@ -1,0 +1,99 @@
+"""TableTelemetry unit tests and telemetry/ad-hoc counter consistency."""
+
+from repro.obs.telemetry import TableTelemetry
+from repro.predictors.base import TelemetrySink
+from repro.predictors.mascot import Mascot
+from repro.predictors.phast import Phast
+
+from tests.conftest import drive_predictor, small_trace
+
+
+class TestTableTelemetry:
+    def test_lazy_slot_growth(self):
+        sink = TableTelemetry()
+        assert sink.num_slots == 0
+        sink.lookup(3)
+        assert sink.num_slots == 4
+        assert sink.provider_hits == [0, 0, 0, 1]
+        assert sink.allocations == [0, 0, 0, 0]
+
+    def test_allocation_splits_nondep(self):
+        sink = TableTelemetry()
+        sink.allocation(1, distance=5)
+        sink.allocation(1, distance=0)
+        assert sink.allocations[1] == 2
+        assert sink.nondep_allocations[1] == 1
+
+    def test_event_and_confidence_counting(self):
+        sink = TableTelemetry()
+        sink.confidence(0, "up")
+        sink.confidence(2, "up")
+        sink.event("cyclic_clear")
+        assert sink.confidence_events == {"up": 2}
+        assert sink.events == {"cyclic_clear": 1}
+
+    def test_history_labels_with_base_slot(self):
+        sink = TableTelemetry(num_tables=2)
+        sink.lookup(0)
+        sink.lookup(2)
+        rows = sink.provider_hits_by_history((0, 4))
+        assert rows == [("h=0", 1), ("h=4", 0), ("base", 1)]
+
+    def test_merge_accumulates_and_grows(self):
+        a = TableTelemetry()
+        a.lookup(0)
+        a.event("x")
+        b = TableTelemetry()
+        b.lookup(2)
+        b.eviction(2)
+        b.event("x")
+        a.merge(b)
+        assert a.lookups == 2
+        assert a.provider_hits == [1, 0, 1]
+        assert a.evictions == [0, 0, 1]
+        assert a.events == {"x": 2}
+
+    def test_dict_round_trip(self):
+        sink = TableTelemetry()
+        sink.lookup(1)
+        sink.allocation(0, 0)
+        sink.confidence(0, "down")
+        sink.event("set_merge")
+        again = TableTelemetry.from_dict(sink.to_dict())
+        assert again.to_dict() == sink.to_dict()
+
+    def test_base_sink_is_a_noop(self):
+        sink = TelemetrySink()
+        sink.lookup(0)
+        sink.allocation(0, 1)
+        sink.eviction(0)
+        sink.confidence(0, "up")
+        sink.event("anything")  # nothing to assert: it must not raise
+
+
+class TestPredictorConsistency:
+    """provider_hits must mirror the ad-hoc predictions_per_table exactly."""
+
+    def _drive(self, predictor, benchmark="perlbench1", uops=8_000):
+        sink = predictor.attach_telemetry(TableTelemetry())
+        drive_predictor(predictor, small_trace(benchmark, uops))
+        return sink
+
+    def test_mascot_provider_hits_match(self):
+        predictor = Mascot()
+        sink = self._drive(predictor)
+        per_table = list(predictor.predictions_per_table)
+        assert sink.provider_hits[:len(per_table)] == per_table
+        assert sum(per_table) > 0
+
+    def test_phast_provider_hits_match(self):
+        predictor = Phast()
+        sink = self._drive(predictor)
+        per_table = list(predictor.predictions_per_table)
+        assert sink.provider_hits[:len(per_table)] == per_table
+        assert sum(per_table) > 0
+
+    def test_unattached_predictor_keeps_working(self):
+        predictor = Mascot()
+        drive_predictor(predictor, small_trace("perlbench1", 4_000))
+        assert predictor.telemetry is None
