@@ -1,0 +1,51 @@
+"""Engine throughput — scalar reference vs batched hot path.
+
+Times the fig7 IPC cell (perlbench1 × mascot × golden-cove) under both
+timing engines and prints the speedup.  The committed perf baseline lives
+in ``benchmarks/BENCH_throughput.json`` (regenerate with ``repro
+bench-baseline``; CI checks it with ``--check``); this bench is the
+interactive view of the same measurement.
+
+Run:  pytest benchmarks/bench_throughput.py --benchmark-only -s
+"""
+
+from repro.experiments.bench_baseline import (
+    DEFAULT_CELLS,
+    FIG7_MIN_SPEEDUP,
+    measure_cell,
+)
+
+from conftest import run_once
+
+
+def test_fig7_cell_speedup(benchmark):
+    """Batched engine holds the ≥5× floor on the headline cell."""
+    fig7 = DEFAULT_CELLS[0]
+
+    def run():
+        return measure_cell(fig7, repeats=3)
+
+    row = run_once(benchmark, run)
+    print()
+    print(f"{fig7.label}: scalar {row['scalar_s']}s "
+          f"({row['scalar_kuops_per_s']} kuops/s), "
+          f"batched {row['batched_s']}s "
+          f"({row['batched_kuops_per_s']} kuops/s) "
+          f"-> {row['speedup']}x")
+    assert row["speedup"] >= FIG7_MIN_SPEEDUP
+
+
+def test_secondary_cells_speedup(benchmark):
+    """The non-headline baseline cells also come out well ahead."""
+
+    def run():
+        return [measure_cell(cell, repeats=2) for cell in DEFAULT_CELLS[1:]]
+
+    rows = run_once(benchmark, run)
+    print()
+    for row in rows:
+        print(f"{row['benchmark']} x {row['predictor']} x {row['core']}: "
+              f"scalar {row['scalar_s']}s, batched {row['batched_s']}s "
+              f"-> {row['speedup']}x")
+    for row in rows:
+        assert row["speedup"] > 1.5

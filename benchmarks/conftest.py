@@ -105,3 +105,16 @@ def jobs():
 def run_once(benchmark, fn):
     """Run a figure generator exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def bench_trace(benchmark_name: str, num_uops=None):
+    """Memoised trace for throughput benches.
+
+    Delegates to :func:`repro.trace.fixture_cache.cached_trace`, the same
+    bounded process-wide cache ``tests/conftest.py`` uses — when tests and
+    benches run in one pytest invocation, identical parameters generate
+    the trace once.
+    """
+    from repro.trace.fixture_cache import cached_trace
+
+    return cached_trace(benchmark_name, num_uops or bench_uops())

@@ -70,6 +70,11 @@ class BranchPredictor(abc.ABC):
             self.stats.mispredictions += 1
         return correct
 
+    def batch_session(self):
+        """Fused replay session for the batched engine (type-exact)."""
+        from .batch import make_branch_session
+        return make_branch_session(self)
+
     def observe_indirect(self, pc: int, target: int) -> bool:
         """Record an indirect branch; returns True if the target was predicted.
 

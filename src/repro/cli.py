@@ -21,6 +21,13 @@ can be reproduced without writing Python:
   :mod:`repro.lint`).
 * ``doctor``    — environment health checks (cache/journal writability,
   worker spawn, lint baseline; see :mod:`repro.doctor`).
+* ``bench-baseline`` — measure scalar vs batched engine throughput and
+  write (or, with ``--check``, compare against) the committed
+  ``benchmarks/BENCH_throughput.json`` (see docs/performance.md).
+
+``simulate`` and ``compare`` accept ``--engine {scalar,batched}``; the
+batched engine produces bit-identical statistics (pinned by the golden
+equivalence test tier) at several times the throughput.
 
 Fault tolerance: the sweep commands accept ``--cell-timeout``,
 ``--retries``, ``--keep-going`` and ``--resume RUN_ID`` (see
@@ -33,14 +40,16 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core.config import GOLDEN_COVE, LION_COVE
 from .experiments import figures
 from .lint import cli as lint_cli
+from .experiments.bench_baseline import BASELINE_PATH
 from .experiments.reporting import render_table
 from .experiments.resilience import CellFailure, ResiliencePolicy
-from .experiments.runner import default_cache, run_timing
+from .experiments.runner import TIMING_ENGINES, default_cache, run_timing
 from .experiments.suite import (
     PREDICTOR_FACTORIES,
     make_predictor,
@@ -254,6 +263,10 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--uops", type=int, default=60_000)
     simulate.add_argument("--core", choices=sorted(_CORES),
                           default="golden-cove")
+    simulate.add_argument(
+        "--engine", choices=TIMING_ENGINES, default="scalar",
+        help="timing engine; 'batched' is bit-identical and faster",
+    )
 
     compare = sub.add_parser("compare", help="normalised-IPC sweep")
     compare.add_argument(
@@ -262,6 +275,10 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(compare)
     compare.add_argument("--core", choices=sorted(_CORES),
                          default="golden-cove")
+    compare.add_argument(
+        "--engine", choices=TIMING_ENGINES, default="scalar",
+        help="timing engine; 'batched' is bit-identical and faster",
+    )
 
     accuracy = sub.add_parser("accuracy", help="prediction-only error sweep")
     accuracy.add_argument(
@@ -314,6 +331,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_cli.add_arguments(lint)
 
+    bench = sub.add_parser(
+        "bench-baseline",
+        help="measure scalar vs batched engine throughput; write or check "
+             "the committed benchmarks/BENCH_throughput.json",
+    )
+    bench.add_argument(
+        "--output", default=str(BASELINE_PATH), metavar="FILE",
+        help="baseline JSON path (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="re-measure and compare against the committed baseline "
+             "instead of overwriting it (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=3,
+        help="best-of-N repeats per engine per cell (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative speedup regression under --check "
+             "(default: %(default)s)",
+    )
+
     doctor = sub.add_parser(
         "doctor",
         help="check the environment (cache/journal writability, worker "
@@ -330,7 +371,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_simulate(args) -> int:
     trace = default_cache().get(args.benchmark, args.uops)
     stats = run_timing(trace, make_predictor(args.predictor),
-                       config=_CORES[args.core])
+                       config=_CORES[args.core], engine=args.engine)
     rows = sorted(stats.as_dict().items())
     print(render_table(["metric", "value"], rows,
                        title=f"{args.benchmark} / {args.predictor} "
@@ -340,7 +381,8 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_compare(args) -> int:
     suite = run_ipc_suite(args.predictors, args.benchmarks, args.uops,
-                          config=_CORES[args.core], **_suite_kwargs(args))
+                          config=_CORES[args.core], engine=args.engine,
+                          **_suite_kwargs(args))
     benches = suite.benchmarks or list(next(iter(suite.ipc.values())))
     normalised = {p: suite.normalised(p) for p in args.predictors}
     rows = []
@@ -423,6 +465,36 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_bench_baseline(args) -> int:
+    from .experiments.bench_baseline import (
+        check_against_baseline,
+        load_baseline,
+        run_baseline,
+        write_baseline,
+    )
+
+    print(f"measuring engine throughput (best of {args.repeats}):")
+    current = run_baseline(repeats=args.repeats, verbose=True)
+    if not args.check:
+        path = write_baseline(current, Path(args.output))
+        print(f"wrote {path}")
+        return 0
+    try:
+        committed = load_baseline(Path(args.output))
+    except (OSError, ValueError) as error:
+        print(f"cannot load baseline {args.output}: {error}",
+              file=sys.stderr)
+        return 1
+    violations = check_against_baseline(current, committed,
+                                        tolerance=args.tolerance)
+    for violation in violations:
+        print(f"REGRESSION {violation}", file=sys.stderr)
+    if violations:
+        return 1
+    print(f"all cells within {args.tolerance:.0%} of the committed speedups")
+    return 0
+
+
 def _cmd_gen_trace(args) -> int:
     trace = generate_trace(args.benchmark, args.uops,
                            program_seed=args.program_seed,
@@ -465,6 +537,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench-baseline":
+        return _cmd_bench_baseline(args)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "validate":

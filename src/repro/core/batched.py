@@ -1,0 +1,769 @@
+"""Batched timing engine: two-phase replay of the scalar pipeline.
+
+:class:`BatchedPipeline` produces **bit-identical** results to
+:class:`~repro.core.pipeline.Pipeline` — same :class:`PipelineStats`, same
+:class:`CycleStack`, same telemetry and post-run predictor state — enforced
+by the golden equivalence tier in ``tests/equivalence/``.  It exploits a
+structural property of the scalar model:
+
+* Predictors consume only the *architectural* event stream (branch
+  outcomes, store dispatches, load predict/train), which is purely
+  trace-order driven; no timing result feeds back into any predictor.
+* The timing model consumes predictions but never mutates them.
+
+So the run splits into **Phase A** — replay the predictor-visible stream
+through fused per-predictor sessions (:mod:`repro.predictors.batch`,
+:mod:`repro.branch.batch`), collecting per-load decisions as plain ints —
+and **Phase B** — a monolithic timing loop over precomputed
+:class:`~repro.trace.columns.TraceColumns`, with the scalar code's
+dict/deque scoreboards replaced by :class:`~repro.core.scoreboard.RingWindow`
+and :class:`~repro.core.scoreboard.StoreScoreboard`.
+
+Phase A mirrors the scalar :class:`~repro.core.lsu.StoreWindow` membership
+(same capacity, same eviction order) so store-distance/seq resolution and
+the ``branches_between`` / ``store_pc`` ground-truth computation match the
+scalar run exactly.  Phase B replicates the scalar constraint chain —
+fetch width, redirect barriers, window releases, port pools with the same
+strict-< scan, in-order commit — and calls the memory hierarchy with the
+exact argument stream of the scalar run, so cache/MSHR state stays
+bit-identical too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.accuracy import OutcomeKind
+from ..branch.tage import TAGEBranchPredictor
+from ..common.foldplan import BranchStream
+from ..memory.hierarchy import MemoryHierarchy
+from ..obs.cycles import CycleStack
+from ..predictors.base import MDPredictor
+from ..predictors.batch import (
+    OUTCOME_BY_CODE,
+    OUTCOME_CODES,
+    PRED_KIND_BY_CODE,
+)
+from ..trace.columns import OP_BY_CODE, OP_CODES, TraceColumns
+from ..trace.uop import MicroOp, OpClass
+from .config import GOLDEN_COVE, CoreConfig
+from .pipeline import _CONSUMER_OPS, _WINDOW_CATEGORIES
+from .scoreboard import SeqScoreboard, StoreScoreboard
+from .stats import PipelineStats
+
+__all__ = ["BatchedPipeline"]
+
+_OP_ALU = OP_CODES[OpClass.ALU]
+_OP_MUL = OP_CODES[OpClass.MUL]
+_OP_DIV = OP_CODES[OpClass.DIV]
+_OP_FP = OP_CODES[OpClass.FP]
+_OP_LOAD = OP_CODES[OpClass.LOAD]
+_OP_STORE = OP_CODES[OpClass.STORE]
+_OP_BC = OP_CODES[OpClass.BRANCH_COND]
+_OP_BI = OP_CODES[OpClass.BRANCH_INDIRECT]
+
+#: Consumer-wait eligibility by op code (mirrors pipeline._CONSUMER_OPS).
+_IS_CONSUMER = tuple(op in _CONSUMER_OPS for op in OP_BY_CODE)
+
+_OC_CORRECT_SMB = OUTCOME_CODES[OutcomeKind.CORRECT_SMB]
+
+
+class BatchedPipeline:
+    """One core, one trace, one predictor — batched engine.
+
+    Drop-in for :class:`~repro.core.pipeline.Pipeline`: same constructor,
+    same :meth:`run` contract (including the single-use guard and the
+    warmup ``measure_from`` semantics), same :attr:`stats`,
+    :attr:`cycle_stack` and :meth:`timeline` surface.
+    """
+
+    def __init__(
+        self,
+        predictor: MDPredictor,
+        config: CoreConfig = GOLDEN_COVE,
+        branch_predictor=None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        record_timeline: bool = False,
+        accounting: bool = False,
+    ):
+        self.config = config
+        self.predictor = predictor
+        self.branch_predictor = branch_predictor or TAGEBranchPredictor()
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.stats = PipelineStats()
+        self._acct: Optional[CycleStack] = CycleStack() if accounting else None
+        self._record_timeline = record_timeline
+        # Per-uop timing exported at end of run (timeline, re-run guard).
+        self._commit_times: List[int] = []
+        self._issue_times: List[int] = []
+        self._fetch_times: List[int] = []
+        self._dispatch_times: List[int] = []
+        self._complete_times: List[int] = []
+        self._stores: Optional[StoreScoreboard] = None
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, trace: Sequence[MicroOp],
+            measure_from: int = 0) -> PipelineStats:
+        """Simulate the trace; returns (and stores) the statistics."""
+        if self._commit_times:
+            raise RuntimeError(
+                "Pipeline instances are single-use: construct a new "
+                "Pipeline per run (predictor and cache state would "
+                "otherwise leak between traces)"
+            )
+        if not 0 <= measure_from <= len(trace):
+            raise ValueError(
+                f"measure_from {measure_from} outside trace of {len(trace)}"
+            )
+        cols = TraceColumns.ensure(trace)
+        phase_a = self._phase_a(trace, cols, measure_from)
+        self._phase_b(cols, measure_from, phase_a)
+        return self.stats
+
+    # -------------------------------------------------- phase A: predictors
+
+    def _phase_a(self, trace: Sequence[MicroOp], cols: TraceColumns,
+                 measure_from: int):
+        """Replay the predictor-visible event stream in trace order.
+
+        Returns the per-event decision lists Phase B consumes.  All
+        predictor and branch-predictor state (tables, history, telemetry,
+        ``predictions_per_table``, branch stats) is fully updated here,
+        exactly as a scalar run would leave it.
+        """
+        cfg = self.config
+        stats = self.stats
+        session = self.predictor.batch_session()
+        bsession = self.branch_predictor.batch_session()
+        bstats = self.branch_predictor.stats
+
+        lists = cols.lists()
+        pc_l = lists["pc"]
+        dep_l = lists["dep_store_seq"]
+        dist_l = lists["store_distance"]
+        byp_l = lists["bypass"]
+        ev_idx = cols.indices_of(
+            OpClass.LOAD, OpClass.STORE,
+            OpClass.BRANCH_COND, OpClass.BRANCH_INDIRECT,
+        )
+        ev_seqs = ev_idx.tolist()
+
+        # Whole-run history/key precomputation: the architectural branch
+        # stream is a pure function of the trace, so sessions that support
+        # priming vectorise their fold registers and table keys up front.
+        bseqs = cols.indices_of(OpClass.BRANCH_COND, OpClass.BRANCH_INDIRECT)
+        bkind = (cols.op[bseqs] == _OP_BI).astype(np.int64)
+        bval = np.where(
+            bkind == 0,
+            cols.taken[bseqs].astype(np.int64),
+            cols.target[bseqs],
+        )
+        stream = BranchStream(bkind, cols.pc[bseqs].astype(np.int64), bval)
+        load_seqs = cols.indices_of(OpClass.LOAD)
+        prime = getattr(session, "prime", None)
+        if prime is not None:
+            cond_before = np.searchsorted(bseqs[bkind == 0], load_seqs)
+            ind_before = np.searchsorted(bseqs[bkind == 1], load_seqs)
+            prime(stream, cols.pc[load_seqs].astype(np.int64),
+                  cond_before, ind_before)
+        bprime = getattr(bsession, "prime", None)
+        if bprime is not None:
+            bprime(stream)
+
+        # Scalar StoreWindow membership mirror (same capacity + eviction).
+        cap = max(cfg.sb_size * 2, 256)
+        recent: deque = deque()
+        member = set()
+        store_branch = [0] * cols.n
+        branch_count = 0
+
+        # Per-load decisions for Phase B.
+        ld_kind: List[int] = []
+        ld_target: List[int] = []          # resolved store seq, -1 = none
+        ld_conservative: List[bool] = []
+        ld_smb_ok: List[bool] = []         # outcome was CORRECT_SMB
+        ld_present: List[bool] = []        # actual dep store still in window
+        st_ordering: List[int] = []        # Store Sets LFST constraint seq
+        br_correct: List[bool] = []
+
+        # Outcome/kind counters by int code (enum-keyed dicts filled after
+        # the loop — list indexing beats enum hashing on the hot path).
+        oc_counts = [0] * len(OUTCOME_BY_CODE)
+        kc_counts = [0] * len(PRED_KIND_BY_CODE)
+        oc_smb = _OC_CORRECT_SMB
+        acc_loads = 0
+
+        # Branch stats accumulate from cycle 0; snapshot at the warmup
+        # boundary exactly as the scalar run() does (they only move on
+        # branch events, so snapshotting at the first measured event is
+        # equivalent to snapshotting after the warmup prefix).
+        warm_done = measure_from == 0
+        warm_mispredicts = bstats.mispredictions
+        warm_indirect = bstats.indirect_mispredictions
+
+        op_l = lists["op"]
+        op_load = _OP_LOAD
+        op_store = _OP_STORE
+        op_bc = _OP_BC
+        s_on_branch = session.on_branch
+        s_on_indirect = session.on_indirect
+        s_on_store = session.on_store
+        s_predict_train = session.predict_train
+        b_on_branch = bsession.on_branch
+        b_on_indirect = bsession.on_indirect
+
+        for seq in ev_seqs:
+            if not warm_done and seq >= measure_from:
+                warm_mispredicts = bstats.mispredictions
+                warm_indirect = bstats.indirect_mispredictions
+                warm_done = True
+            code = op_l[seq]
+            uop = trace[seq]
+            if code == op_load:
+                dep = dep_l[seq]
+                present = dep >= 0 and dep in member
+                if present:
+                    bb = branch_count - store_branch[dep]
+                    spc = pc_l[dep]
+                else:
+                    bb = 0
+                    spc = None
+                kind, p_seq, p_dist, conservative, ok_code = s_predict_train(
+                    uop, bb, spc, dist_l[seq], byp_l[seq]
+                )
+                tgt = -1
+                if kind:
+                    if p_seq is not None:
+                        if p_seq in member:
+                            tgt = p_seq
+                    elif 0 < p_dist <= len(recent):
+                        tgt = recent[-p_dist]
+                ld_kind.append(kind)
+                ld_target.append(tgt)
+                ld_conservative.append(conservative)
+                ld_smb_ok.append(ok_code == oc_smb)
+                ld_present.append(present)
+                if seq >= measure_from:
+                    oc_counts[ok_code] += 1
+                    kc_counts[kind] += 1
+                    acc_loads += 1
+            elif code == op_store:
+                oseq = s_on_store(uop)
+                st_ordering.append(
+                    oseq if (oseq is not None and oseq in member) else -1
+                )
+                store_branch[seq] = branch_count
+                recent.append(seq)
+                member.add(seq)
+                if len(recent) > cap:
+                    member.discard(recent.popleft())
+            elif code == op_bc:
+                br_correct.append(b_on_branch(uop.pc, uop.taken))
+                s_on_branch(uop.pc, uop.taken)
+                branch_count += 1
+            else:  # BRANCH_INDIRECT
+                br_correct.append(b_on_indirect(uop.pc, uop.target))
+                s_on_indirect(uop.pc, uop.target)
+                branch_count += 1
+
+        if not warm_done:
+            warm_mispredicts = bstats.mispredictions
+            warm_indirect = bstats.indirect_mispredictions
+        session.finish()
+        bsession.finish()
+
+        oc = stats.accuracy.outcome_counts
+        pcounts = stats.accuracy.prediction_counts
+        for code, count in enumerate(oc_counts):
+            if count:
+                oc[OUTCOME_BY_CODE[code]] += count
+        for code, count in enumerate(kc_counts):
+            if count:
+                pcounts[PRED_KIND_BY_CODE[code]] += count
+        stats.accuracy.loads = acc_loads
+        stats.branch_mispredictions = bstats.mispredictions - warm_mispredicts
+        stats.indirect_mispredictions = (
+            bstats.indirect_mispredictions - warm_indirect
+        )
+
+        # Measured-region op counts (the scalar per-step increments).
+        mop = cols.op[measure_from:]
+        stats.loads = int(np.count_nonzero(mop == _OP_LOAD))
+        stats.stores = int(np.count_nonzero(mop == _OP_STORE))
+        stats.branches = int(np.count_nonzero(mop == _OP_BC)) + int(
+            np.count_nonzero(mop == _OP_BI)
+        )
+
+        return (ld_kind, ld_target, ld_conservative, ld_smb_ok, ld_present,
+                st_ordering, br_correct, store_branch)
+
+    # ------------------------------------------------------ phase B: timing
+
+    def _phase_b(self, cols: TraceColumns, measure_from: int,
+                 phase_a) -> None:
+        """Monolithic timing loop — the scalar constraint chain, inlined."""
+        (ld_kind, ld_target, ld_conservative, ld_smb_ok, ld_present,
+         st_ordering, br_correct, store_branch) = phase_a
+        cfg = self.config
+        n = cols.n
+        lists = cols.lists()
+        op_l = lists["op"]
+        pc_l = lists["pc"]
+        addr_l = lists["address"]
+        asrc_l = lists["addr_src"]
+        dep_l = lists["dep_store_seq"]
+        srcs_l = cols.srcs
+
+        fetch_width = cfg.fetch_width
+        frontend = cfg.frontend_latency
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        commit_width = cfg.commit_width
+        alu_lat = cfg.alu_latency
+        mul_lat = cfg.mul_latency
+        div_lat = cfg.div_latency
+        fp_lat = cfg.fp_latency
+        br_lat = cfg.branch_latency
+        agu_lat = cfg.agu_latency
+        sb_drain = cfg.sb_drain_latency
+        enforce_drain = cfg.enforce_sb_drain
+        fwd_lat = cfg.forward_latency
+        squash_ovh = cfg.squash_overhead
+
+        # Port pools: same strict-< earliest-free scan as PortPool.issue.
+        # The ALU pool's scan is inlined at its use sites (every ALU, MUL,
+        # DIV and branch op goes through it); the rarer pools keep the
+        # closure.
+        load_free = [0] * cfg.load_ports
+        store_free = [0] * cfg.store_ports
+        alu_free = [0] * cfg.alu_ports
+        fp_free = [0] * cfg.fp_ports
+        n_alu_ports = cfg.alu_ports
+
+        def pool_issue(free: List[int], ready: int, occupancy: int = 1) -> int:
+            best = 0
+            best_free = free[0]
+            for i in range(1, len(free)):
+                if free[i] < best_free:
+                    best = i
+                    best_free = free[i]
+            cycle = ready if ready > best_free else best_free
+            free[best] = cycle + occupancy
+            return cycle
+
+        value_ready = [0] * n
+        issue_times = [0] * n
+        commit_times = [0] * n
+        produced = (cols.op == _OP_LOAD).tolist()
+
+        recording = self._record_timeline
+        if recording:
+            fetch_times = [0] * n
+            dispatch_times = [0] * n
+            complete_times = [0] * n
+
+        # Store-timing columns as plain lists during the loop (native-int
+        # reads); exported as a numpy StoreScoreboard at end of run.  The
+        # LQ/SB window-release reads ("when did the load/store `capacity`
+        # slots ago commit/drain?") index the per-kind event lists directly
+        # — the RingWindow form of the same read stays property-tested in
+        # tests/core.
+        lq_size = cfg.lq_size
+        sb_size = cfg.sb_size
+        st_addr = [-1] * n
+        st_data = [-1] * n
+        st_drain = [-1] * n
+        st_bc = [-1] * n
+        ld_commits: List[int] = []
+        st_drains: List[int] = []
+
+        timed_load = self.hierarchy.timed_load
+        store_probe = self.hierarchy.store_probe
+
+        acct = self._acct
+        accounting = acct is not None
+        if accounting:
+            acct_cycles = acct.cycles
+        prev_commit = 0
+        barrier_bound = False
+        acct_exec = "execute"
+        port_from = 0
+        dep_from = 0
+        rob_point = iq_point = lq_point = sb_point = 0
+
+        barrier = 0
+        fetch_cycle = 0
+        fetch_slots = 0
+        commit_cycle = 0
+        commit_slots = 0
+
+        n_stall = n_fwd = n_byp = n_squash = n_cons = n_wait = 0
+        li = si = bi = 0
+        is_consumer = _IS_CONSUMER
+        op_alu = _OP_ALU
+        op_load = _OP_LOAD
+        op_store = _OP_STORE
+        op_bc = _OP_BC
+        op_fp = _OP_FP
+        op_mul = _OP_MUL
+        op_bi = _OP_BI
+        op_div = _OP_DIV
+
+        for seq in range(n):
+            code = op_l[seq]
+            measuring = seq >= measure_from
+
+            # -- fetch (width + redirect barrier) --
+            if barrier > fetch_cycle:
+                fetch_cycle = barrier
+                fetch_slots = 0
+            fetch = fetch_cycle
+            fetch_slots += 1
+            if fetch_slots >= fetch_width:
+                fetch_cycle += 1
+                fetch_slots = 0
+
+            # -- dispatch (window releases) --
+            is_load = code == op_load
+            is_store = code == op_store
+            rob_point = iq_point = lq_point = sb_point = 0
+            rv = seq - rob_size
+            if rv >= 0:
+                rob_point = commit_times[rv]
+            iv = seq - iq_size
+            if iv >= 0:
+                iq_point = issue_times[iv]
+            if is_load:
+                if li >= lq_size:
+                    lq_point = ld_commits[li - lq_size]
+            elif is_store:
+                if si >= sb_size:
+                    sb_point = st_drains[si - sb_size]
+            dispatch = fetch + frontend
+            if rob_point > dispatch:
+                dispatch = rob_point
+            if iq_point > dispatch:
+                dispatch = iq_point
+            if lq_point > dispatch:
+                dispatch = lq_point
+            if sb_point > dispatch:
+                dispatch = sb_point
+
+            # -- source readiness --
+            ready = 0
+            srcs = srcs_l[seq]
+            for src in srcs:
+                t = value_ready[src]
+                if t > ready:
+                    ready = t
+            d1 = dispatch + 1
+            earliest = d1 if d1 > ready else ready
+            if accounting:
+                barrier_bound = barrier > 0 and fetch == barrier
+                acct_exec = "execute"
+                port_from = earliest
+                dep_from = earliest
+
+            # Sec. VI-A consumer-wait metric.
+            if measuring and srcs and is_consumer[code]:
+                for src in srcs:
+                    if produced[src]:
+                        n_cons += 1
+                        wait = ready - d1
+                        if wait > 0:
+                            n_wait += wait
+                        break
+
+            if code == op_alu:
+                best = 0
+                best_free = alu_free[0]
+                for i in range(1, n_alu_ports):
+                    if alu_free[i] < best_free:
+                        best = i
+                        best_free = alu_free[i]
+                issue = earliest if earliest > best_free else best_free
+                alu_free[best] = issue + 1
+                complete = issue + alu_lat
+                value = complete
+            elif is_load:
+                kind = ld_kind[li]
+                tgt = ld_target[li]
+                a = d1
+                asrc = asrc_l[seq]
+                if asrc >= 0:
+                    t = value_ready[asrc]
+                    if t > a:
+                        a = t
+                if ready > a:
+                    a = ready
+                if accounting:
+                    dep_from = a
+                wait_until = a
+                if kind and tgt >= 0:
+                    hold = st_addr[tgt]
+                    if ld_conservative[li]:
+                        hold += 1
+                    if hold > wait_until:
+                        if measuring:
+                            n_stall += 1
+                        wait_until = hold
+                issue = pool_issue(load_free, wait_until)
+                if accounting:
+                    port_from = wait_until
+                dep = dep_l[seq]
+                squash_at = 0  # 0 = no squash (cycle 0 is never a squash)
+                if dep >= 0 and ld_present[li]:
+                    dep_addr = st_addr[dep]
+                    if issue < dep_addr:
+                        squash_at = dep_addr + 1
+                        fr = st_data[dep]
+                        if dep_addr > fr:
+                            fr = dep_addr
+                        t = squash_at + squash_ovh
+                        if fr > t:
+                            t = fr
+                        complete = t + fwd_lat
+                    elif enforce_drain and issue > st_drain[dep]:
+                        complete = timed_load(
+                            pc_l[seq], addr_l[seq], issue + agu_lat - 1
+                        )
+                    else:
+                        if measuring:
+                            n_fwd += 1
+                        fr = st_data[dep]
+                        if dep_addr > fr:
+                            fr = dep_addr
+                        t = issue if issue > fr else fr
+                        complete = t + fwd_lat
+                else:
+                    complete = timed_load(
+                        pc_l[seq], addr_l[seq], issue + agu_lat - 1
+                    )
+                value = complete
+                if kind == 2 and tgt >= 0:
+                    if ld_smb_ok[li]:
+                        if measuring:
+                            n_byp += 1
+                        bv = st_data[tgt] + 1
+                        if d1 > bv:
+                            bv = d1
+                        if bv < value:
+                            value = bv
+                    else:
+                        ta = st_addr[tgt]
+                        addr_check = (issue if issue > ta else ta) + 1
+                        i1 = issue + 1
+                        m = addr_check if addr_check > i1 else i1
+                        verify = complete if complete < m else m
+                        if verify > squash_at:
+                            squash_at = verify
+                        t = verify + squash_ovh
+                        if t > complete:
+                            complete = t
+                        value = complete
+                if squash_at:
+                    if measuring:
+                        n_squash += 1
+                    t = squash_at + squash_ovh
+                    if t > barrier:
+                        barrier = t
+                if accounting:
+                    acct_exec = "squash" if squash_at else "memory"
+                li += 1
+            elif is_store:
+                a = d1
+                asrc = asrc_l[seq]
+                if asrc >= 0:
+                    t = value_ready[asrc]
+                    if t > a:
+                        a = t
+                if accounting:
+                    dep_from = a
+                oseq = st_ordering[si]
+                if oseq >= 0:
+                    t = st_addr[oseq] + 1
+                    if t > a:
+                        a = t
+                issue = pool_issue(store_free, a)
+                addr_resolve = issue + agu_lat
+                data_avail = ready if ready > d1 else d1
+                complete = (addr_resolve if addr_resolve > data_avail
+                            else data_avail)
+                if accounting:
+                    port_from = a
+                store_probe(addr_l[seq])
+                st_addr[seq] = addr_resolve
+                st_data[seq] = data_avail
+                st_bc[seq] = store_branch[seq]
+                value = complete
+                si += 1
+            elif code == op_bc or code == op_bi:
+                best = 0
+                best_free = alu_free[0]
+                for i in range(1, n_alu_ports):
+                    if alu_free[i] < best_free:
+                        best = i
+                        best_free = alu_free[i]
+                issue = earliest if earliest > best_free else best_free
+                alu_free[best] = issue + 1
+                complete = issue + br_lat
+                value = complete
+                if not br_correct[bi]:
+                    t = complete + 1
+                    if t > barrier:
+                        barrier = t
+                bi += 1
+            elif code == op_fp:
+                issue = pool_issue(fp_free, earliest)
+                complete = issue + fp_lat
+                value = complete
+            elif code == op_mul:
+                issue = pool_issue(alu_free, earliest)
+                complete = issue + mul_lat
+                value = complete
+            elif code == op_div:
+                issue = pool_issue(alu_free, earliest, div_lat)
+                complete = issue + div_lat
+                value = complete
+            else:  # NOP
+                issue = earliest
+                complete = issue
+                value = complete
+
+            # -- commit (in order, width-limited) --
+            c = complete + 1
+            if c < commit_cycle:
+                c = commit_cycle
+            if c > commit_cycle:
+                commit_cycle = c
+                commit_slots = 0
+            commit_slots += 1
+            if commit_slots >= commit_width:
+                commit_cycle += 1
+                commit_slots = 0
+
+            issue_times[seq] = issue
+            commit_times[seq] = c
+            value_ready[seq] = value
+            if recording:
+                fetch_times[seq] = fetch
+                dispatch_times[seq] = dispatch
+                complete_times[seq] = complete
+            if is_load:
+                ld_commits.append(c)
+            elif is_store:
+                drain = c + sb_drain
+                st_drains.append(drain)
+                st_drain[seq] = drain
+
+            # -- cycle accounting (scalar _account, inlined) --
+            if accounting:
+                if not measuring:
+                    prev_commit = c
+                else:
+                    lo = prev_commit
+                    prev_commit = c
+                    hi = c
+                    if hi > lo:
+                        cuts = [
+                            (complete, "commit"),
+                            (issue, acct_exec),
+                            (port_from, "ports"),
+                            (dep_from, "dependence"),
+                            (d1, "src_wait"),
+                        ]
+                        frontier = fetch + frontend
+                        if dispatch > frontier:
+                            points = (rob_point, iq_point, lq_point, sb_point)
+                            cuts.append((
+                                frontier,
+                                _WINDOW_CATEGORIES[points.index(max(points))],
+                            ))
+                        front = "redirect" if barrier_bound else "frontend"
+                        cuts.append((fetch, front))
+                        for point, cat in cuts:
+                            if point < lo:
+                                point = lo
+                            if point < hi:
+                                acct_cycles[cat] += hi - point
+                                hi = point
+                        if hi > lo:
+                            acct_cycles[front] += hi - lo
+
+        # -- end of run --
+        stats = self.stats
+        measured = n - measure_from
+        stats.instructions = measured
+        start_cycle = commit_times[measure_from - 1] if measure_from > 0 else 0
+        stats.cycles = max(commit_cycle - start_cycle, 1)
+        stats.accuracy.instructions = max(measured, 1)
+        stats.memory_squashes = n_squash
+        stats.loads_stalled_by_prediction = n_stall
+        stats.loads_bypassed = n_byp
+        stats.loads_forwarded = n_fwd
+        stats.load_consumers = n_cons
+        stats.load_consumer_wait_cycles = n_wait
+        if acct is not None:
+            tail = stats.cycles - acct.total
+            if tail > 0:
+                acct.add("commit", tail)
+
+        sb = StoreScoreboard(n)
+        sb.addr_resolve[:] = st_addr
+        sb.data_ready[:] = st_data
+        sb.drain[:] = st_drain
+        sb.branch_count[:] = st_bc
+        self._issue_times = issue_times
+        self._commit_times = commit_times
+        self._stores = sb
+        if recording:
+            self._fetch_times = fetch_times
+            self._dispatch_times = dispatch_times
+            self._complete_times = complete_times
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def cycle_stack(self) -> CycleStack:
+        """The per-category cycle attribution (``accounting=True`` only)."""
+        if self._acct is None:
+            raise RuntimeError(
+                "pipeline was not constructed with accounting=True"
+            )
+        return self._acct
+
+    def timeline(self, trace: Optional[Sequence[MicroOp]] = None):
+        """The recorded timeline (``record_timeline=True`` only)."""
+        from .timeline import Timeline, UopTiming
+
+        if not self._record_timeline:
+            raise RuntimeError(
+                "pipeline was not constructed with record_timeline=True"
+            )
+        timings = [
+            UopTiming(
+                seq=i,
+                fetch=self._fetch_times[i],
+                dispatch=self._dispatch_times[i],
+                issue=max(self._issue_times[i], self._dispatch_times[i]),
+                complete=max(self._complete_times[i], self._issue_times[i]),
+                commit=self._commit_times[i],
+            )
+            for i in range(len(self._commit_times))
+        ]
+        return Timeline(timings, trace)
+
+    def seq_scoreboard(self) -> SeqScoreboard:
+        """Columnar per-uop timing (``record_timeline=True`` only)."""
+        if not self._record_timeline:
+            raise RuntimeError(
+                "pipeline was not constructed with record_timeline=True"
+            )
+        return SeqScoreboard(
+            self._fetch_times, self._dispatch_times, self._issue_times,
+            self._complete_times, self._commit_times,
+        )

@@ -1,0 +1,205 @@
+"""Single-cell engine-throughput measurement and the committed baseline.
+
+The batched engine (:class:`~repro.core.batched.BatchedPipeline`) exists
+for speed; correctness is pinned by the golden equivalence tier.  This
+module pins the *speed*: :func:`measure_cell` times one (benchmark,
+predictor, core) timing cell under both engines, :func:`run_baseline`
+sweeps the standard cell list, and ``repro bench-baseline`` writes the
+result to the committed ``benchmarks/BENCH_throughput.json``.
+
+The headline number is the **fig7 IPC cell** — perlbench1 × mascot ×
+golden-cove — where the batched engine must hold ≥ 5× the scalar
+engine's single-cell throughput (:data:`FIG7_MIN_SPEEDUP`).
+
+Regression checking compares speedup *ratios*, not wall-clock seconds:
+the ratio divides out the host's absolute speed, so a baseline committed
+on one machine remains meaningful on another (see docs/performance.md).
+Absolute times are recorded too, for humans reading the file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.batched import BatchedPipeline
+from ..core.config import GOLDEN_COVE, LION_COVE, CoreConfig
+from ..core.pipeline import Pipeline
+from ..trace.generator import generate_trace
+
+__all__ = [
+    "BASELINE_PATH",
+    "BASELINE_SCHEMA",
+    "DEFAULT_CELLS",
+    "FIG7_MIN_SPEEDUP",
+    "BenchCell",
+    "measure_cell",
+    "run_baseline",
+    "write_baseline",
+    "load_baseline",
+    "check_against_baseline",
+]
+
+#: Committed baseline location, relative to the repository root.
+BASELINE_PATH = Path("benchmarks") / "BENCH_throughput.json"
+
+#: Bump when the JSON layout changes (older files fail the check loudly).
+BASELINE_SCHEMA = 1
+
+#: Acceptance floor on the fig7 cell's batched/scalar speedup.
+FIG7_MIN_SPEEDUP = 5.0
+
+_CORES: Dict[str, CoreConfig] = {
+    "golden-cove": GOLDEN_COVE,
+    "lion-cove": LION_COVE,
+}
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One timed cell: trace parameters plus the measurement window."""
+
+    benchmark: str
+    predictor: str
+    core: str
+    num_uops: int = 40_000
+    measure_from: int = 10_000
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark} x {self.predictor} x {self.core}"
+
+
+#: The standard baseline cells.  First entry is the fig7 IPC cell the
+#: acceptance gate applies to; the others cover a second workload shape
+#: (streaming FP) and a second predictor family (NoSQ's path-hashed
+#: bypass tables).
+DEFAULT_CELLS = (
+    BenchCell("perlbench1", "mascot", "golden-cove"),
+    BenchCell("lbm", "mascot", "golden-cove"),
+    BenchCell("perlbench1", "nosq", "golden-cove"),
+)
+
+
+def _run_once(engine_cls, cell: BenchCell, trace) -> float:
+    """One cold construction + run; returns wall seconds."""
+    from .suite import make_predictor
+
+    pipeline = engine_cls(make_predictor(cell.predictor),
+                          _CORES[cell.core])
+    start = time.perf_counter()
+    pipeline.run(trace, measure_from=cell.measure_from)
+    return time.perf_counter() - start
+
+
+def measure_cell(cell: BenchCell, repeats: int = 3) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time for both engines on one cell.
+
+    The trace is generated once and shared (generation is not part of
+    either engine's cost); each repeat constructs a fresh predictor and
+    pipeline, exactly as a suite cell would.  Best-of-N suppresses
+    scheduler noise and, for the batched engine, excludes the one-time
+    trace columnisation (memoised per trace object, amortised across a
+    suite sweep in real use).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    trace = generate_trace(cell.benchmark, cell.num_uops)
+    scalar_s = min(_run_once(Pipeline, cell, trace)
+                   for _ in range(repeats))
+    batched_s = min(_run_once(BatchedPipeline, cell, trace)
+                    for _ in range(repeats))
+    kuops = (cell.num_uops - cell.measure_from) / 1000.0
+    return {
+        "benchmark": cell.benchmark,
+        "predictor": cell.predictor,
+        "core": cell.core,
+        "num_uops": cell.num_uops,
+        "measure_from": cell.measure_from,
+        "scalar_s": round(scalar_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(scalar_s / batched_s, 3),
+        "scalar_kuops_per_s": round(kuops / scalar_s, 1),
+        "batched_kuops_per_s": round(kuops / batched_s, 1),
+    }
+
+
+def run_baseline(cells: Sequence[BenchCell] = DEFAULT_CELLS,
+                 repeats: int = 3, verbose: bool = False) -> Dict[str, object]:
+    """Measure every cell; returns the baseline document (JSON-shaped)."""
+    measured: List[Dict[str, object]] = []
+    for cell in cells:
+        row = measure_cell(cell, repeats=repeats)
+        measured.append(row)
+        if verbose:
+            print(f"  {cell.label}: scalar {row['scalar_s']}s, "
+                  f"batched {row['batched_s']}s "
+                  f"({row['speedup']}x)")
+    return {
+        "schema": BASELINE_SCHEMA,
+        "repeats": repeats,
+        "cells": measured,
+    }
+
+
+def write_baseline(document: Dict[str, object],
+                   path: Path = BASELINE_PATH) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Dict[str, object]:
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {document.get('schema')!r} != "
+            f"{BASELINE_SCHEMA}; re-run `repro bench-baseline`"
+        )
+    return document
+
+
+def check_against_baseline(
+    current: Dict[str, object],
+    committed: Dict[str, object],
+    tolerance: float = 0.20,
+    min_fig7_speedup: Optional[float] = FIG7_MIN_SPEEDUP,
+) -> List[str]:
+    """Compare a fresh measurement to the committed baseline.
+
+    Returns a list of violation messages (empty = pass).  A cell
+    regresses when its batched/scalar speedup falls more than
+    ``tolerance`` below the committed speedup — a machine-independent
+    criterion.  ``min_fig7_speedup`` additionally enforces the absolute
+    floor on the first (fig7) cell; pass None to skip it.
+    """
+    violations: List[str] = []
+    committed_by_key = {
+        (c["benchmark"], c["predictor"], c["core"]): c
+        for c in committed["cells"]
+    }
+    for position, cell in enumerate(current["cells"]):
+        key = (cell["benchmark"], cell["predictor"], cell["core"])
+        label = " x ".join(key)
+        reference = committed_by_key.get(key)
+        if reference is None:
+            violations.append(f"{label}: not in committed baseline")
+            continue
+        floor = reference["speedup"] * (1.0 - tolerance)
+        if cell["speedup"] < floor:
+            violations.append(
+                f"{label}: speedup {cell['speedup']}x is more than "
+                f"{tolerance:.0%} below the committed "
+                f"{reference['speedup']}x (floor {floor:.2f}x)"
+            )
+        if position == 0 and min_fig7_speedup is not None \
+                and cell["speedup"] < min_fig7_speedup:
+            violations.append(
+                f"{label}: speedup {cell['speedup']}x is below the "
+                f"fig7 acceptance floor {min_fig7_speedup}x"
+            )
+    return violations

@@ -322,6 +322,7 @@ def cell_key(spec) -> str:
             "f1_period": spec.f1_period,
             "track_f1": spec.track_f1,
             "telemetry": spec.telemetry,
+            "engine": getattr(spec, "engine", "scalar"),
         },
         "predictor": predictor_fingerprint(spec.predictor),
         "core": asdict(core) if core is not None else None,

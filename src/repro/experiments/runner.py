@@ -34,6 +34,7 @@ __all__ = [
     "run_prediction_only",
     "run_timing",
     "DEFAULT_TRACE_LENGTH",
+    "TIMING_ENGINES",
 ]
 
 #: Default dynamic trace length per benchmark.  Chosen so a full-suite,
@@ -229,10 +230,30 @@ def _prune(mapping: Dict[int, int], current_seq: int,
         del mapping[seq]
 
 
+#: Timing-engine registry: ``scalar`` is the reference event-at-a-time
+#: pipeline; ``batched`` the two-phase columnar engine proven bit-identical
+#: by the golden equivalence tier (tests/equivalence/).
+TIMING_ENGINES = ("scalar", "batched")
+
+
 def run_timing(
     trace: Sequence[MicroOp],
     predictor: MDPredictor,
     config: CoreConfig = GOLDEN_COVE,
+    engine: str = "scalar",
 ) -> PipelineStats:
-    """Run the out-of-order timing model; returns its statistics."""
+    """Run the out-of-order timing model; returns its statistics.
+
+    ``engine`` selects the implementation: ``"scalar"`` (the reference
+    :class:`~repro.core.pipeline.Pipeline`) or ``"batched"`` (the
+    bit-identical :class:`~repro.core.batched.BatchedPipeline`).
+    """
+    if engine not in TIMING_ENGINES:
+        raise ValueError(
+            f"unknown timing engine {engine!r}; known: "
+            + ", ".join(TIMING_ENGINES)
+        )
+    if engine == "batched":
+        from ..core.batched import BatchedPipeline
+        return BatchedPipeline(predictor, config=config).run(trace)
     return Pipeline(predictor, config=config).run(trace)

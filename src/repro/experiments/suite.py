@@ -149,6 +149,7 @@ def run_ipc_suite(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    engine: str = "scalar",
 ) -> IpcSuiteResult:
     """Timing-mode sweep; the baseline is added automatically if missing.
 
@@ -157,7 +158,9 @@ def run_ipc_suite(
     :data:`~repro.experiments.parallel.CacheSpec`); ``policy``, ``journal``
     and ``resume`` configure fault tolerance and crash recovery (see
     :func:`~repro.experiments.parallel.execute_cells`).  The grid is
-    bit-identical for every ``jobs`` value and cache state.
+    bit-identical for every ``jobs`` value and cache state — and, by the
+    golden equivalence tier, for either ``engine`` (``"scalar"`` reference
+    pipeline or the faster ``"batched"`` engine).
     """
     names = list(predictors)
     if baseline not in names:
@@ -167,7 +170,8 @@ def run_ipc_suite(
     cells = [
         CellSpec(mode="timing", benchmark=bench, num_uops=num_uops,
                  predictor=name, config=config,
-                 store_window=config.sb_size, instr_window=config.rob_size)
+                 store_window=config.sb_size, instr_window=config.rob_size,
+                 engine=engine)
         for bench in benchmarks for name in names
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,

@@ -8,7 +8,9 @@ entropy sources:
 
 * ``det-unseeded-rng``  — module-level ``random.*`` draws, ``random.Random()``
   / ``numpy.random.default_rng()`` / ``RandomState()`` without a seed, and
-  any ``numpy.random.*`` global-state draw.
+  any ``numpy.random.*`` global-state draw — through every import spelling
+  (``import numpy``, ``import numpy.random as npr``, ``from numpy import
+  random``, ``from numpy.random import shuffle``).
 * ``det-time``          — wall/CPU clock reads (``time.time`` et al.,
   ``datetime.now``/``utcnow``/``today``).  The parallel supervisor alone
   (:data:`MONOTONIC_CLOCK_MODULES`) may read *monotonic* clocks: it needs
@@ -69,10 +71,15 @@ SANCTIONED_ENV_MODULES = frozenset({
     "repro.experiments.resilience",
 })
 
-#: Modules allowed to read monotonic (never wall-clock) clocks: only the
-#: supervisor loop, which needs deadlines and backoff scheduling.  Clock
-#: values there drive *when* a cell runs, never *what* it computes.
-MONOTONIC_CLOCK_MODULES = frozenset({"repro.experiments.parallel"})
+#: Modules allowed to read monotonic (never wall-clock) clocks: the
+#: supervisor loop (deadlines and backoff scheduling) and the throughput
+#: bench harness (``perf_counter`` deltas are its entire product).  Clock
+#: values there drive *when* a cell runs or *how long it took*, never
+#: *what* it computes.
+MONOTONIC_CLOCK_MODULES = frozenset({
+    "repro.experiments.parallel",
+    "repro.experiments.bench_baseline",
+})
 
 #: Modules allowed to open files for writing.  Everything else — the
 #: simulator core, predictors, trace generation, figures — must stay
@@ -87,6 +94,9 @@ SANCTIONED_WRITE_MODULES = frozenset({
     "repro.experiments.export",
     "repro.experiments.result_cache",
     "repro.experiments.journal",
+    # The perf-baseline writer: BENCH_throughput.json is a committed
+    # artifact, produced on explicit request, never from a suite cell.
+    "repro.experiments.bench_baseline",
 })
 
 _RANDOM_DRAWS = frozenset({
@@ -272,6 +282,15 @@ class _DetVisitor(ast.NodeVisitor):
                     "det-unseeded-rng", node,
                     f"{resolved}() without a seed is OS-entropy seeded",
                 )
+            elif resolved.startswith("numpy.random.") and (
+                resolved.rsplit(".", 1)[1] in _NUMPY_DRAWS
+            ):
+                # from numpy.random import shuffle / seed / rand / ...
+                self._emit(
+                    "det-unseeded-rng", node,
+                    f"{resolved}() uses numpy's global RNG state; use "
+                    "numpy.random.default_rng(seed)",
+                )
             elif resolved == "random.Random" and not node.args:
                 self._emit(
                     "det-unseeded-rng", node,
@@ -326,6 +345,21 @@ class _DetVisitor(ast.NodeVisitor):
                 elif attr == "SystemRandom":
                     self._emit("det-entropy", node,
                                "random.SystemRandom draws OS entropy")
+            elif resolved == "numpy.random":
+                # import numpy.random as npr / from numpy import random
+                if attr in ("default_rng", "RandomState"):
+                    if not node.args:
+                        self._emit(
+                            "det-unseeded-rng", node,
+                            f"numpy.random.{attr}() without a seed is "
+                            "OS-entropy seeded",
+                        )
+                elif attr in _NUMPY_DRAWS:
+                    self._emit(
+                        "det-unseeded-rng", node,
+                        f"numpy.random.{attr}() uses numpy's global RNG "
+                        "state; use numpy.random.default_rng(seed)",
+                    )
             elif resolved == "time" and attr in _TIME_FUNCS:
                 if not (attr in _MONOTONIC_FUNCS
                         and self.mod.module in MONOTONIC_CLOCK_MODULES):

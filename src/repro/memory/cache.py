@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..common.bitops import mask
-
 __all__ = ["Cache", "CacheStats"]
 
 
@@ -68,6 +66,12 @@ class Cache:
         self.line_size = line_size
         self.num_sets = size_bytes // (ways * line_size)
         self._offset_bits = line_size.bit_length() - 1
+        # Power-of-two set counts index with a mask; others fall back to
+        # modulo (both geometries appear in sensitivity sweeps).
+        self._set_mask = (
+            self.num_sets - 1
+            if self.num_sets & (self.num_sets - 1) == 0 else None
+        )
         self.stats = CacheStats()
         # set index -> list of tags, LRU first.
         self._sets: Dict[int, List[int]] = {}
@@ -76,8 +80,8 @@ class Cache:
         return address >> self._offset_bits
 
     def _set_index(self, line: int) -> int:
-        if self.num_sets & (self.num_sets - 1) == 0:
-            return line & mask(self.num_sets.bit_length() - 1)
+        if self._set_mask is not None:
+            return line & self._set_mask
         return line % self.num_sets
 
     def lookup(self, address: int, *, fill: bool = True,
@@ -88,35 +92,54 @@ class Cache:
         False.  Prefetch fills are counted separately so prefetcher accuracy
         is observable in the stats.
         """
-        line = self._line(address)
-        set_index = self._set_index(line)
+        line = address >> self._offset_bits
+        set_mask = self._set_mask
+        set_index = (line & set_mask if set_mask is not None
+                     else line % self.num_sets)
         ways = self._sets.get(set_index)
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if ways is not None and line in ways:
-            self.stats.hits += 1
-            # Move to MRU position.
-            ways.remove(line)
-            ways.append(line)
+            stats.hits += 1
+            # Move to MRU position (no-op when already there).
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if fill:
-            self.fill(address, is_prefetch=is_prefetch)
+            # Allocate-on-miss, inline (the line is known absent).
+            if ways is None:
+                ways = self._sets[set_index] = []
+            elif len(ways) >= self.ways:
+                ways.pop(0)
+                stats.evictions += 1
+            ways.append(line)
+            if is_prefetch:
+                stats.prefetch_fills += 1
         return False
 
     def contains(self, address: int) -> bool:
         """Non-destructive probe (no stats, no LRU update)."""
-        line = self._line(address)
-        ways = self._sets.get(self._set_index(line))
+        line = address >> self._offset_bits
+        set_mask = self._set_mask
+        ways = self._sets.get(line & set_mask if set_mask is not None
+                              else line % self.num_sets)
         return ways is not None and line in ways
 
     def fill(self, address: int, *, is_prefetch: bool = False) -> Optional[int]:
         """Insert a line; returns the evicted line address (or None)."""
-        line = self._line(address)
-        set_index = self._set_index(line)
-        ways = self._sets.setdefault(set_index, [])
-        if line in ways:
-            ways.remove(line)
-            ways.append(line)
+        line = address >> self._offset_bits
+        set_mask = self._set_mask
+        set_index = (line & set_mask if set_mask is not None
+                     else line % self.num_sets)
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = self._sets[set_index] = []
+        elif line in ways:
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
             return None
         evicted = None
         if len(ways) >= self.ways:

@@ -67,11 +67,19 @@ class MemoryHierarchy:
         self.mshrs = (
             MSHRFile(c.mshr_entries) if c.mshr_entries > 0 else None
         )
+        # Hot-path constants hoisted out of the per-load attribute chain
+        # (the config dataclass is frozen, so these can never go stale).
+        self._lat_l1d = c.l1d_latency
+        self._lat_l2 = c.l2_latency
+        self._lat_l3 = c.l3_latency
+        self._lat_mem = c.memory_latency
+        self._line_shift = c.line_size.bit_length() - 1
+        self._prefetch_enabled = c.prefetch_enabled
 
     def load_latency(self, pc: int, address: int) -> int:
         """Demand load: probe the hierarchy and return latency in cycles."""
         latency = self._access(address)
-        if self.config.prefetch_enabled:
+        if self._prefetch_enabled:
             for prefetch_addr in self.prefetcher.observe(pc, address):
                 self._prefetch(prefetch_addr)
         return latency
@@ -86,13 +94,13 @@ class MemoryHierarchy:
         and complete with the original fill.
         """
         latency = self._access(address)
-        if self.config.prefetch_enabled:
+        if self._prefetch_enabled:
             for prefetch_addr in self.prefetcher.observe(pc, address):
                 self._prefetch(prefetch_addr)
-        if self.mshrs is None or latency <= self.config.l1d_latency:
+        if self.mshrs is None or latency <= self._lat_l1d:
             return now + latency
-        line = address >> (self.config.line_size.bit_length() - 1)
-        _, completion = self.mshrs.request(line, now, latency)
+        _, completion = self.mshrs.request(
+            address >> self._line_shift, now, latency)
         return completion
 
     def store_probe(self, address: int) -> None:
@@ -102,14 +110,13 @@ class MemoryHierarchy:
     def _access(self, address: int) -> int:
         # lookup() allocates on miss, so a miss at level N both probes and
         # fills level N; deeper levels are only touched after a miss.
-        c = self.config
         if self.l1d.lookup(address):
-            return c.l1d_latency
+            return self._lat_l1d
         if self.l2.lookup(address):
-            return c.l2_latency
+            return self._lat_l2
         if self.l3.lookup(address):
-            return c.l3_latency
-        return c.memory_latency
+            return self._lat_l3
+        return self._lat_mem
 
     def _prefetch(self, address: int) -> None:
         """Prefetch into L1D (and outer levels) without demand stats."""

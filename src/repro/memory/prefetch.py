@@ -16,7 +16,7 @@ from ..common.bitops import mask
 __all__ = ["IPStridePrefetcher", "StrideEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StrideEntry:
     """One IP-stride table entry."""
 
@@ -36,12 +36,13 @@ class IPStridePrefetcher:
         self.table_bits = table_bits
         self.degree = degree
         self.confidence_threshold = confidence_threshold
+        self._index_mask = mask(table_bits)
         self._table = [StrideEntry() for _ in range(1 << table_bits)]
         self.issued = 0
 
     def observe(self, pc: int, address: int) -> List[int]:
         """Record a demand access; return addresses to prefetch."""
-        index = (pc >> 1) & mask(self.table_bits)
+        index = (pc >> 1) & self._index_mask
         tag = pc >> (1 + self.table_bits)
         entry = self._table[index]
 

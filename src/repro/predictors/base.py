@@ -195,6 +195,20 @@ class MDPredictor(abc.ABC):
         """
         return None
 
+    # -- batched engine --------------------------------------------------------
+
+    def batch_session(self):
+        """Fused replay session for the batched engine.
+
+        Dispatches through :func:`repro.predictors.batch.make_session`,
+        which is type-exact: only the stock zoo classes get their fast
+        transcribed sessions; subclasses (which may override ``predict``
+        or ``train``) fall back to the generic session that drives the
+        real protocol.
+        """
+        from .batch import make_session
+        return make_session(self)
+
     # -- observability ---------------------------------------------------------
 
     def attach_telemetry(self, sink: TelemetrySink) -> TelemetrySink:

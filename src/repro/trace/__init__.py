@@ -1,5 +1,12 @@
 """Synthetic workload substrate: micro-ops, programs, traces, ground truth."""
 
+from .columns import (
+    BYPASS_BY_CODE,
+    BYPASS_CODES,
+    OP_BY_CODE,
+    OP_CODES,
+    TraceColumns,
+)
 from .dependence import DependenceTracker, StoreRecord, classify_overlap
 from .generator import TraceGenerator, generate_trace
 from .profiles import SPEC_SUITE, WorkloadProfile, get_profile, suite_names
@@ -33,6 +40,11 @@ from .uop import MAX_STORE_DISTANCE, BypassClass, MicroOp, OpClass
 from .validate import TraceValidationError, ValidationReport, validate_trace
 
 __all__ = [
+    "BYPASS_BY_CODE",
+    "BYPASS_CODES",
+    "OP_BY_CODE",
+    "OP_CODES",
+    "TraceColumns",
     "Interval",
     "SimPoint",
     "basic_block_vectors",

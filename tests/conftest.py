@@ -5,23 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.predictors.base import ActualOutcome
-from repro.trace import build_program, get_profile
-from repro.trace.generator import TraceGenerator
+from repro.trace.fixture_cache import cached_trace
 from repro.trace.uop import OpClass
-
-_TRACE_CACHE = {}
 
 
 def small_trace(benchmark: str = "perlbench1", num_uops: int = 20_000,
                 program_seed: int = 0, trace_seed: int = 1):
-    """Generate (and memoise) a small trace for tests."""
-    key = (benchmark, num_uops, program_seed, trace_seed)
-    if key not in _TRACE_CACHE:
-        program = build_program(get_profile(benchmark), seed=program_seed)
-        _TRACE_CACHE[key] = TraceGenerator(
-            program, seed=trace_seed
-        ).generate(num_uops)
-    return _TRACE_CACHE[key]
+    """Small memoised trace — shared, LRU-bounded process-wide cache.
+
+    Thin alias of :func:`repro.trace.fixture_cache.cached_trace` so tests
+    and benches hit the same entries (generation happens once even when
+    both suites run in one pytest invocation).
+    """
+    return cached_trace(benchmark, num_uops,
+                        program_seed=program_seed, trace_seed=trace_seed)
 
 
 @pytest.fixture

@@ -54,6 +54,59 @@ class TestUnseededRng:
         """)
         assert box.active_rules() == []
 
+    def test_numpy_global_draw_flagged(self, box):
+        box.write("cell.py", """
+        import numpy as np
+
+
+        def scramble(values):
+            np.random.shuffle(values)
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_numpy_random_from_import_module_flagged(self, box):
+        # ``from numpy import random`` binds the *numpy* random module to
+        # the stdlib module's usual name; draws through it are still the
+        # process-global numpy RNG.
+        box.write("cell.py", """
+        from numpy import random
+
+
+        def draw():
+            return random.rand()
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_numpy_random_aliased_module_flagged(self, box):
+        box.write("cell.py", """
+        import numpy.random as npr
+
+
+        def reseed():
+            npr.seed(0)
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_numpy_draw_from_import_flagged(self, box):
+        box.write("cell.py", """
+        from numpy.random import shuffle
+
+
+        def scramble(values):
+            shuffle(values)
+        """)
+        assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_numpy_seeded_rng_via_module_alias_is_clean(self, box):
+        box.write("cell.py", """
+        from numpy import random
+
+
+        def make(seed):
+            return random.default_rng(seed)
+        """)
+        assert box.active_rules() == []
+
     def test_method_on_local_rng_instance_is_clean(self, box):
         # rng.random() on a passed-in generator is fine: the seed is the
         # caller's responsibility, and that call chain is deterministic.
@@ -273,6 +326,38 @@ class TestResilienceSurface:
             return random.random()
         """)
         assert box.active_rules() == ["det-unseeded-rng"]
+
+    def test_bench_harness_clock_and_write_sanctioned(self, box):
+        # The throughput bench's product *is* perf_counter deltas, and it
+        # writes the committed baseline file — both sanctioned for
+        # repro.experiments.bench_baseline only.
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/bench_baseline.py", """
+        import time
+        from pathlib import Path
+
+
+        def measure(fn, path):
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            Path(path).write_text(str(elapsed))
+            return elapsed
+        """)
+        assert box.active_rules() == []
+
+    def test_wall_clock_still_flagged_in_bench_harness(self, box):
+        box.write("repro/__init__.py", "")
+        box.write("repro/experiments/__init__.py", "")
+        box.write("repro/experiments/bench_baseline.py", """
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+        assert box.active_rules() == ["det-time"]
 
     def test_env_sanctioned_in_journal_and_resilience(self, box):
         box.write("repro/__init__.py", "")

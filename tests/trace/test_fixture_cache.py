@@ -1,0 +1,61 @@
+"""The shared trace-fixture memo: identity sharing and the LRU bound.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` both delegate to
+:mod:`repro.trace.fixture_cache`; these tests pin the two properties the
+consolidation exists for — equal parameters yield the *same* list object
+(one generation per process), and the memo cannot grow past
+``MAX_ENTRIES`` no matter how many parameter combinations a session
+sweeps.
+
+The suite-visible cache state is preserved: each test snapshots nothing
+but tiny traces and the module is restored by clearing, so test order
+stays irrelevant (the other users re-generate on demand).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import fixture_cache
+from repro.trace.fixture_cache import MAX_ENTRIES, cache_info, cached_trace
+
+
+@pytest.fixture()
+def fresh_cache():
+    # Start empty, leave empty: other fixtures re-populate lazily.
+    fixture_cache.clear()
+    yield
+    fixture_cache.clear()
+
+
+def test_equal_parameters_share_one_object(fresh_cache):
+    first = cached_trace("perlbench1", 64)
+    again = cached_trace("perlbench1", 64)
+    assert again is first
+    info = cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 1
+
+
+def test_distinct_parameters_generate_separately(fresh_cache):
+    base = cached_trace("perlbench1", 64)
+    assert cached_trace("lbm", 64) is not base
+    assert cached_trace("perlbench1", 96) is not base
+    assert cached_trace("perlbench1", 64, trace_seed=7) is not base
+    assert cache_info()["misses"] == 4
+
+
+def test_entries_bounded_with_lru_eviction(fresh_cache):
+    keeper = cached_trace("perlbench1", 32)
+    for length in range(33, 33 + MAX_ENTRIES):
+        cached_trace("perlbench1", length)
+        # Re-touch the keeper so it stays most-recently-used throughout.
+        assert cached_trace("perlbench1", 32) is keeper
+    info = cache_info()
+    assert info["entries"] == MAX_ENTRIES
+    # The keeper survived every eviction; the eldest untouched entry
+    # (length 33) did not.
+    assert cached_trace("perlbench1", 32) is keeper
+    before = cache_info()["misses"]
+    cached_trace("perlbench1", 33)
+    assert cache_info()["misses"] == before + 1
