@@ -327,7 +327,8 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="static simulator-correctness checks (oracle isolation, "
-             "determinism, hardware realizability)",
+             "determinism, hardware realizability, engine equivalence, "
+             "salt coverage, worker safety)",
     )
     lint_cli.add_arguments(lint)
 

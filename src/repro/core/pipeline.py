@@ -430,6 +430,10 @@ class Pipeline:
             seq=uop.seq, pc=uop.pc,
             addr_resolve=addr_resolve,
             data_ready=data_avail,
+            # The +64 is provisional slack so no load snoops a still-pending
+            # drain; the batched engine computes the final drain at commit
+            # directly and never needs the placeholder.
+            # repro-lint: allow(eq-config-literal) -- provisional drain slack, batched refines at commit
             drain=complete + cfg.sb_drain_latency + 64,
             branch_count=self._branch_count,
         )

@@ -112,11 +112,32 @@ def default_cache_dir() -> Path:
 
 @lru_cache(maxsize=None)
 def _source_digest(relative_parts: tuple) -> str:
-    """Hash the named source files/trees under the package root."""
+    """Hash the named source files/trees under the package root.
+
+    A missing or typo'd entry is a hard error: ``rglob`` on a nonexistent
+    directory yields nothing, so before this check a bad entry silently
+    contributed *zero bytes* to the salt — exactly the failure mode
+    (stale cache hits after edits) the salt exists to prevent.
+    """
     digest = hashlib.sha256()
     for rel in relative_parts:
         path = _PACKAGE_ROOT / rel
-        files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        if path.is_file():
+            files = [path]
+        elif path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        else:
+            raise ValueError(
+                f"cache-salt source entry {rel!r} does not exist under "
+                f"{_PACKAGE_ROOT}; fix the entry (it would otherwise "
+                "contribute nothing to the code-version salt)"
+            )
+        if not files:
+            raise ValueError(
+                f"cache-salt source entry {rel!r} matches no Python files "
+                f"under {_PACKAGE_ROOT}; it contributes nothing to the "
+                "code-version salt"
+            )
         for source in files:
             digest.update(str(source.relative_to(_PACKAGE_ROOT)).encode())
             digest.update(source.read_bytes())

@@ -74,7 +74,10 @@ class TraceCache:
         self._traces.clear()
 
 
-#: Process-wide default cache used by the figure generators.
+#: Process-wide default cache used by the figure generators.  Safe across
+#: pool workers: entries are pure functions of their generation-parameter
+#: keys, so per-worker copies can only agree.
+# repro-lint: allow(conc-mutable-global) -- content-keyed trace memo, entries are pure functions of the key
 _GLOBAL_CACHE = TraceCache()
 
 

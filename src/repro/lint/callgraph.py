@@ -1,0 +1,206 @@
+"""Whole-package call graph and reachability over the :class:`PackageIndex`.
+
+The index resolves one call at a time; the interprocedural rules (eq-*,
+salt-*, conc-*) need two whole-package views built on top of it:
+
+* a **module import graph** — which in-package modules each module imports
+  (directly, at any nesting depth), giving :meth:`CallGraph.import_closure`
+  for the cache-salt audit.  Ancestor-package ``__init__`` files are *not*
+  pulled in implicitly: importing ``pkg.core.pipeline`` executes
+  ``pkg/core/__init__.py`` at runtime, but package initialisers only bind
+  names — treating them as result-influencing would drag every re-export
+  (figures, CLI, docs helpers) into the salt audit.
+
+* a **function call graph** — edges from each function/method to every
+  in-package callee the index can resolve, plus "references class C"
+  edges.  Reachability is deliberately conservative: touching a class
+  (instantiating it, passing it around, calling a classmethod) reaches
+  *all* of its methods and its in-package ancestors, because instance
+  method calls through arbitrary variables cannot be resolved statically.
+  When a module is first reached, its top-level non-import statements are
+  scanned too, so registry tables (``PREDICTOR_FACTORIES = {"x": Xpred}``)
+  reach the classes they name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .index import ClassInfo, FunctionInfo, PackageIndex, _dotted
+
+__all__ = ["CallGraph", "Reachable"]
+
+
+@dataclass
+class Reachable:
+    """Closure of one BFS over the call graph."""
+
+    functions: Set[str] = field(default_factory=set)  # FunctionInfo.qualname
+    classes: Set[str] = field(default_factory=set)    # ClassInfo.qualname
+    modules: Set[str] = field(default_factory=set)    # dotted module names
+
+
+class CallGraph:
+    """Call and import edges derived once per lint run."""
+
+    def __init__(self, index: PackageIndex):
+        self.index = index
+        #: Every function and method, keyed by qualname.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: function qualname -> callee function qualnames.
+        self.calls: Dict[str, Tuple[str, ...]] = {}
+        #: function qualname -> in-package class qualnames it references.
+        self.class_refs: Dict[str, Tuple[str, ...]] = {}
+        #: module -> in-package modules it imports directly.
+        self.module_imports: Dict[str, Tuple[str, ...]] = {}
+        #: module -> (functions, classes) referenced from top-level
+        #: non-import statements (registry dicts, module constants).
+        self._toplevel_refs: Dict[str, Tuple[Tuple[str, ...],
+                                             Tuple[str, ...]]] = {}
+        self._build()
+
+    # -------------------------------------------------------------- building
+
+    def _build(self) -> None:
+        index = self.index
+        for info in index.functions.values():
+            self.functions[info.qualname] = info
+        for cls in index.classes.values():
+            for method in cls.methods.values():
+                self.functions[method.qualname] = method
+
+        for qualname in sorted(self.functions):
+            info = self.functions[qualname]
+            cls = None
+            if info.class_name is not None:
+                cls = index.classes.get(f"{info.module}.{info.class_name}")
+            callees, classes = self._scan(info.module, cls, info.node)
+            self.calls[qualname] = callees
+            self.class_refs[qualname] = classes
+
+        for name in sorted(index.modules):
+            self.module_imports[name] = self._imports_of(name)
+            self._toplevel_refs[name] = self._scan_toplevel(name)
+
+    def _module_of(self, dotted: str) -> Optional[str]:
+        """Longest prefix of ``dotted`` that names an in-package module."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.index.modules:
+                return candidate
+        return None
+
+    def _imports_of(self, module: str) -> Tuple[str, ...]:
+        targets: Set[str] = set()
+        for dotted in self.index.imports.get(module, {}).values():
+            resolved = self._module_of(dotted)
+            if resolved is not None and resolved != module:
+                targets.add(resolved)
+        return tuple(sorted(targets))
+
+    def _scan(self, module: str, cls: Optional[ClassInfo],
+              node: ast.AST) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Callee qualnames and referenced class qualnames under ``node``."""
+        index = self.index
+        callees: Set[str] = set()
+        classes: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                for target, _ in index.resolve_call(module, cls, sub):
+                    callees.add(target.qualname)
+                dotted = _dotted(sub.func)
+                if dotted is not None and not dotted.startswith("self."):
+                    self._resolve_dotted_call(module, dotted, callees, classes)
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                resolved = index.resolve(module, sub.id)
+                if resolved in index.classes:
+                    classes.add(resolved)
+        return tuple(sorted(callees)), tuple(sorted(classes))
+
+    def _resolve_dotted_call(self, module: str, dotted: str,
+                             callees: Set[str], classes: Set[str]) -> None:
+        """Resolve ``a.b.c(...)`` to a class, classmethod or function."""
+        index = self.index
+        resolved = index.resolve(module, dotted)
+        if resolved in index.classes:
+            classes.add(resolved)
+            return
+        head, _, last = resolved.rpartition(".")
+        owner = index.classes.get(head)
+        if owner is not None:
+            classes.add(owner.qualname)
+            method = index.find_method(owner, last)
+            if method is not None:
+                callees.add(method.qualname)
+
+    def _scan_toplevel(self, module: str) -> Tuple[Tuple[str, ...],
+                                                   Tuple[str, ...]]:
+        mod = self.index.modules[module]
+        callees: Set[str] = set()
+        classes: Set[str] = set()
+        for stmt in mod.tree.body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom,
+                                 ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            sub_callees, sub_classes = self._scan(module, None, stmt)
+            callees |= set(sub_callees)
+            classes |= set(sub_classes)
+        return tuple(sorted(callees)), tuple(sorted(classes))
+
+    # ---------------------------------------------------------- reachability
+
+    def import_closure(self, roots: Iterable[str]) -> Set[str]:
+        """Modules transitively imported from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        queue = [r for r in roots if r in self.index.modules]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.module_imports.get(current, ()))
+        return seen
+
+    def reachable(self, seeds: Iterable[str]) -> Reachable:
+        """BFS from seed function qualnames; see the module docstring."""
+        reach = Reachable()
+        queue: List[str] = [s for s in seeds if s in self.functions]
+        while queue:
+            qualname = queue.pop()
+            if qualname in reach.functions:
+                continue
+            reach.functions.add(qualname)
+            info = self.functions[qualname]
+            self._reach_module(info.module, reach, queue)
+            queue.extend(self.calls.get(qualname, ()))
+            for cls_name in self.class_refs.get(qualname, ()):
+                self._reach_class(cls_name, reach, queue)
+        return reach
+
+    def _reach_class(self, qualname: str, reach: Reachable,
+                     queue: List[str]) -> None:
+        if qualname in reach.classes:
+            return
+        cls = self.index.classes.get(qualname)
+        if cls is None:
+            return
+        reach.classes.add(qualname)
+        for ancestor in self.index.iter_ancestry(cls):
+            reach.classes.add(ancestor.qualname)
+            self._reach_module(ancestor.module, reach, queue)
+            for method in ancestor.methods.values():
+                queue.append(method.qualname)
+
+    def _reach_module(self, module: str, reach: Reachable,
+                      queue: List[str]) -> None:
+        if module in reach.modules:
+            return
+        reach.modules.add(module)
+        callees, classes = self._toplevel_refs.get(module, ((), ()))
+        queue.extend(callees)
+        for cls_name in classes:
+            self._reach_class(cls_name, reach, queue)

@@ -72,13 +72,15 @@ SANCTIONED_ENV_MODULES = frozenset({
 })
 
 #: Modules allowed to read monotonic (never wall-clock) clocks: the
-#: supervisor loop (deadlines and backoff scheduling) and the throughput
-#: bench harness (``perf_counter`` deltas are its entire product).  Clock
-#: values there drive *when* a cell runs or *how long it took*, never
-#: *what* it computes.
+#: supervisor loop (deadlines and backoff scheduling), the throughput
+#: bench harness (``perf_counter`` deltas are its entire product) and the
+#: lint CLI (its ``--metrics`` record carries the run's wall seconds).
+#: Clock values there drive *when* a cell runs or *how long it took*,
+#: never *what* it computes.
 MONOTONIC_CLOCK_MODULES = frozenset({
     "repro.experiments.parallel",
     "repro.experiments.bench_baseline",
+    "repro.lint.cli",
 })
 
 #: Modules allowed to open files for writing.  Everything else — the

@@ -42,6 +42,11 @@ class Finding:
         return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
 
     @property
+    def family(self) -> str:
+        """Rule-name prefix grouping related rules (``eq``, ``salt``...)."""
+        return self.rule.split("-", 1)[0]
+
+    @property
     def active(self) -> bool:
         """Counts toward the non-zero exit status."""
         return not (self.suppressed or self.baselined)
@@ -52,6 +57,7 @@ class Finding:
     def to_dict(self) -> Dict[str, object]:
         return {
             "rule": self.rule,
+            "family": self.family,
             "module": self.module,
             "path": self.path,
             "line": self.line,

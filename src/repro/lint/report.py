@@ -3,11 +3,19 @@
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
 from .findings import Finding
 
 __all__ = ["render_text", "render_json"]
+
+
+def _family_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        if finding.active:
+            counts[finding.family] = counts.get(finding.family, 0) + 1
+    return counts
 
 
 def _status_suffix(finding: Finding) -> str:
@@ -61,6 +69,7 @@ def render_json(findings: List[Finding], files: int) -> str:
             "active": sum(1 for f in findings if f.active),
             "suppressed": sum(1 for f in findings if f.suppressed),
             "baselined": sum(1 for f in findings if f.baselined),
+            "active_by_family": _family_counts(findings),
         },
         "findings": [f.to_dict() for f in findings],
     }

@@ -1,0 +1,202 @@
+"""salt-*: audit of the result cache's code-version salt.
+
+The content-addressed result cache keys every cell on a hash of the
+"shared simulation substrate" — the hand-maintained ``_SHARED_SOURCES``
+tuple in ``experiments/result_cache.py`` (plus a per-predictor
+fingerprint covering ``predictors/``).  Nothing checked that list until
+now: a module that influences results but is missing from the salt means
+*stale cache hits after an edit*, silently.
+
+These rules cross-check the salt against the import closure of the
+cell-execution entry module (``experiments/runner.py``):
+
+* ``salt-missing`` — a module reachable from the runner is covered by
+  neither ``_SHARED_SOURCES``, the per-predictor fingerprint
+  (``predictors/``), nor the :data:`RESULT_NEUTRAL_MODULES` allowlist.
+* ``salt-stale``   — a salt entry that matches no module in the linted
+  tree, or (for ``_SHARED_SOURCES``) one whose modules are all
+  unreachable from the runner: dead weight that invalidates caches on
+  edits that cannot change results.
+* ``salt-opaque``  — a salt element that is not a plain string literal,
+  so the audit (and a human) cannot tell what it covers.
+
+Reachability is the *import* closure, direct imports only — ancestor
+package ``__init__`` files are not expanded (see
+:mod:`repro.lint.callgraph`), which keeps re-export hubs like
+``experiments/__init__.py`` from dragging figures and CLI code into the
+audit.  The whole checker stands down unless both the result-cache and
+runner modules are in the linted tree, so per-file lints stay cheap and
+quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .callgraph import CallGraph
+from .findings import Finding
+from .index import PackageIndex
+from .source import SourceModule
+
+__all__ = ["RULES", "check", "RESULT_NEUTRAL_MODULES"]
+
+RULES: Dict[str, str] = {
+    "salt-missing": "result-influencing module absent from the cache salt",
+    "salt-stale": "cache-salt entry matching nothing (or nothing reachable)",
+    "salt-opaque": "cache-salt element is not a string literal",
+}
+
+#: Module suffix of the file defining the salt tuples.
+_RESULT_CACHE_SUFFIX = "experiments.result_cache"
+#: Module suffix of the cell-execution entry point.
+_RUNNER_SUFFIX = "experiments.runner"
+
+#: Package-relative module names reachable from the runner whose code is
+#: result-neutral *by design* and therefore deliberately unsalted.  Keep
+#: this list justified: an entry here means "editing this module can
+#: never change a cached payload".
+RESULT_NEUTRAL_MODULES = frozenset({
+    # Cycle accounting feeds the profile renderer only; CycleStack totals
+    # never enter PipelineStats or any cached payload (result_cache's
+    # docstring documents the obs/ split).
+    "obs.cycles",
+})
+
+
+def _find_module(index: PackageIndex, suffix: str) -> Optional[SourceModule]:
+    for name in sorted(index.modules):
+        if name == suffix or name.endswith("." + suffix):
+            return index.modules[name]
+    return None
+
+
+def _salt_tuple(mod: SourceModule,
+                name: str) -> Optional[Tuple[ast.Assign, List[ast.expr]]]:
+    """The ``name = (...)`` assignment and its elements, if present."""
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if name in targets and isinstance(stmt.value, (ast.Tuple,
+                                                           ast.List)):
+                return stmt, list(stmt.value.elts)
+    return None
+
+
+def _rel_module(module: str, root: str) -> Optional[str]:
+    """``module`` relative to the package ``root`` ("" keeps it whole)."""
+    if not root:
+        return module
+    if module == root:
+        return None  # the package __init__ itself
+    if module.startswith(root + "."):
+        return module[len(root) + 1:]
+    return None
+
+
+def _entry_module(entry: str) -> str:
+    """Salt entry ("trace", "experiments/runner.py") as a dotted module."""
+    if entry.endswith(".py"):
+        entry = entry[:-3]
+    return entry.replace("/", ".").replace("\\", ".")
+
+
+def _covers(entry: str, rel: str) -> bool:
+    target = _entry_module(entry)
+    if entry.endswith(".py"):
+        return rel == target
+    return rel == target or rel.startswith(target + ".")
+
+
+def _finding(mod: SourceModule, rule: str, line: int, col: int,
+             message: str, symbol: str) -> Finding:
+    return Finding(rule=rule, module=mod.module, path=str(mod.path),
+                   line=line, col=col, message=message, symbol=symbol)
+
+
+def check(index: PackageIndex) -> List[Finding]:
+    rc_mod = _find_module(index, _RESULT_CACHE_SUFFIX)
+    runner_mod = _find_module(index, _RUNNER_SUFFIX)
+    if rc_mod is None or runner_mod is None:
+        return []
+    shared = _salt_tuple(rc_mod, "_SHARED_SOURCES")
+    predictor_common = _salt_tuple(rc_mod, "_PREDICTOR_COMMON_SOURCES")
+    if shared is None:
+        return []
+
+    root = rc_mod.module[: -len(_RESULT_CACHE_SUFFIX)].rstrip(".")
+    graph = CallGraph(index)
+    closure = graph.import_closure([runner_mod.module])
+
+    findings: List[Finding] = []
+    entries: List[Tuple[str, ast.expr, bool]] = []  # (tuple name, elt, shared?)
+    for name, parsed, is_shared in (("_SHARED_SOURCES", shared, True),
+                                    ("_PREDICTOR_COMMON_SOURCES",
+                                     predictor_common, False)):
+        if parsed is None:
+            continue
+        _, elements = parsed
+        for elt in elements:
+            if (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                entries.append((name, elt, is_shared))
+            else:
+                findings.append(_finding(
+                    rc_mod, "salt-opaque", elt.lineno, elt.col_offset,
+                    f"element of {name} is not a string literal; the salt "
+                    "audit (and the next maintainer) cannot tell what it "
+                    "covers",
+                    f"{rc_mod.module}:{name}",
+                ))
+
+    shared_entries = [elt.value for _, elt, is_shared in entries if is_shared]
+
+    # salt-stale: entries covering no module, or nothing reachable.
+    rel_by_module = {}
+    for module in sorted(index.modules):
+        rel = _rel_module(module, root)
+        if rel is not None:
+            rel_by_module[module] = rel
+    for name, elt, is_shared in entries:
+        entry = elt.value
+        matching = [m for m, rel in sorted(rel_by_module.items())
+                    if _covers(entry, rel)]
+        if not matching:
+            findings.append(_finding(
+                rc_mod, "salt-stale", elt.lineno, elt.col_offset,
+                f"{name} entry {entry!r} matches no module in the linted "
+                "tree; it only invalidates caches without guarding "
+                "anything",
+                f"{rc_mod.module}:{name}:{entry}",
+            ))
+        elif is_shared and not any(m in closure for m in matching):
+            findings.append(_finding(
+                rc_mod, "salt-stale", elt.lineno, elt.col_offset,
+                f"_SHARED_SOURCES entry {entry!r} is unreachable from the "
+                f"cell-execution entry points in {runner_mod.module}; "
+                "editing it cannot change results, yet invalidates every "
+                "cached cell",
+                f"{rc_mod.module}:{name}:{entry}",
+            ))
+
+    # salt-missing: reachable modules no salt entry covers.
+    assign, _ = shared
+    for module in sorted(closure):
+        rel = rel_by_module.get(module)
+        if rel is None:
+            continue  # outside the package root
+        if rel == "predictors" or rel.startswith("predictors."):
+            continue  # covered per-predictor by predictor_fingerprint()
+        if rel in RESULT_NEUTRAL_MODULES:
+            continue
+        if any(_covers(entry, rel) for entry in shared_entries):
+            continue
+        findings.append(_finding(
+            rc_mod, "salt-missing", assign.lineno, assign.col_offset,
+            f"module {module} is reachable from the cell-execution entry "
+            f"points in {runner_mod.module} but no _SHARED_SOURCES entry "
+            f"covers {rel.replace('.', '/')}.py; edits there would leave "
+            "stale cache hits",
+            f"{rc_mod.module}:_SHARED_SOURCES:{rel}",
+        ))
+    return findings

@@ -37,7 +37,10 @@ BYPASS_CODES = {bc: i for i, bc in enumerate(BypassClass)}
 BYPASS_BY_CODE = tuple(BypassClass)
 
 #: Bounded identity-keyed memo: list of (trace, columns) pairs, newest last.
+#: Safe across pool workers: a columnisation is a pure function of the
+#: trace it is keyed on, so per-worker copies can only agree.
 _MEMO_CAPACITY = 4
+# repro-lint: allow(conc-mutable-global) -- identity-keyed memo of pure columnisations
 _MEMO: List[Tuple[Sequence[MicroOp], "TraceColumns"]] = []
 
 

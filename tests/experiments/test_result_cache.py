@@ -295,3 +295,24 @@ class TestDefaultDir:
         path = default_cache_dir()
         assert path.name == "repro-mascot"
         assert path.parent.name == ".cache"
+
+
+class TestSourceDigest:
+    def test_nonexistent_entry_is_a_hard_error(self):
+        from repro.experiments.result_cache import _source_digest
+
+        with pytest.raises(ValueError, match="no_such_subpackage"):
+            _source_digest(("no_such_subpackage",))
+
+    def test_empty_directory_entry_is_a_hard_error(self, tmp_path, monkeypatch):
+        import repro.experiments.result_cache as rc
+
+        (tmp_path / "hollow").mkdir()
+        monkeypatch.setattr(rc, "_PACKAGE_ROOT", tmp_path)
+        with pytest.raises(ValueError, match="matches no Python files"):
+            rc._source_digest(("hollow",))
+
+    def test_shared_salt_entries_all_resolve(self):
+        # The committed tuples must never trip the hard error.
+        assert shared_code_salt()
+        assert predictor_fingerprint("mascot")["code"]

@@ -1,0 +1,163 @@
+"""conc-*: fork/worker-safety of code reachable from pool workers.
+
+The fixtures mirror the real layout: ``pkg/experiments/parallel.py``
+defines ``compute_cell`` (the function the process pool maps), and the
+modules it reaches carry the hazards under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PARALLEL = """
+    from ..work import simulate
+
+
+    def compute_cell(spec):
+        return simulate(spec)
+
+
+    def execute_cells(specs):
+        return [compute_cell(s) for s in specs]
+"""
+
+
+def write_tree(box, work_source):
+    box.write("pkg/__init__.py", "")
+    box.write("pkg/experiments/__init__.py", "")
+    box.write("pkg/experiments/parallel.py", PARALLEL)
+    box.write("pkg/work.py", work_source)
+
+
+def conc_rules(box):
+    return [r for r in box.active_rules() if r.startswith("conc-")]
+
+
+class TestMutableGlobal:
+    def test_mutated_module_dict_fires(self, box):
+        write_tree(box, """
+            _CACHE = {}
+
+
+            def simulate(spec):
+                _CACHE[spec] = 1
+                return _CACHE[spec]
+        """)
+        findings = [f for f in box.lint()
+                    if f.active and f.rule == "conc-mutable-global"]
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+
+    def test_unmutated_registry_is_fine(self, box):
+        write_tree(box, """
+            FACTORIES = {"a": (lambda: 1)}
+
+
+            def simulate(spec):
+                return FACTORIES["a"]()
+        """)
+        assert conc_rules(box) == []
+
+    def test_instance_of_nonfrozen_class_fires(self, box):
+        write_tree(box, """
+            class Memo:
+                def __init__(self):
+                    self.entries = {}
+
+
+            _MEMO = Memo()
+
+
+            def simulate(spec):
+                return _MEMO.entries.get(spec, 0)
+        """)
+        assert "conc-mutable-global" in conc_rules(box)
+
+    def test_frozen_dataclass_constant_is_fine(self, box):
+        write_tree(box, """
+            from dataclasses import dataclass
+
+
+            @dataclass(frozen=True)
+            class Config:
+                width: int = 4
+
+
+            DEFAULT = Config()
+
+
+            def simulate(spec):
+                return DEFAULT.width
+        """)
+        assert conc_rules(box) == []
+
+    def test_unreached_module_is_ignored(self, box):
+        write_tree(box, """
+            def simulate(spec):
+                return spec
+        """)
+        box.write("pkg/offline.py", """
+            _STATE = {}
+
+
+            def record(x):
+                _STATE[x] = 1
+        """)
+        assert conc_rules(box) == []
+
+    def test_pragma_suppresses_sanctioned_memo(self, box):
+        write_tree(box, """
+            # repro-lint: allow(conc-mutable-global) -- content-keyed memo
+            _CACHE = {}
+
+
+            def simulate(spec):
+                _CACHE[spec] = 1
+                return _CACHE[spec]
+        """)
+        findings = [f for f in box.lint() if f.rule == "conc-mutable-global"]
+        assert findings and all(f.suppressed for f in findings)
+
+
+class TestGlobalRebind:
+    def test_rebind_in_worker_reachable_function_fires(self, box):
+        write_tree(box, """
+            _COUNT = 0
+
+
+            def simulate(spec):
+                global _COUNT
+                _COUNT += 1
+                return _COUNT
+        """)
+        assert "conc-global-rebind" in conc_rules(box)
+
+
+class TestProcessHandle:
+    def test_module_scope_lock_fires(self, box):
+        write_tree(box, """
+            import threading
+
+            _LOCK = threading.Lock()
+
+
+            def simulate(spec):
+                with _LOCK:
+                    return spec
+        """)
+        assert "conc-process-handle" in conc_rules(box)
+
+    def test_no_worker_entry_stands_down(self, box):
+        # The same hazard without a compute_cell in the tree: the checker
+        # cannot tell what is worker-reachable, so it stays quiet.
+        box.write("pkg/__init__.py", "")
+        box.write("pkg/work.py", """
+            import threading
+
+            _LOCK = threading.Lock()
+        """)
+        assert conc_rules(box) == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

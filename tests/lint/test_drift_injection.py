@@ -1,0 +1,90 @@
+"""Drift injection against a copy of the *real* tree.
+
+The acceptance criterion for the interprocedural pass: seed one
+asymmetry between ``core/pipeline.py`` and ``core/batched.py``, and
+remove one ``_SHARED_SOURCES`` entry, and the lint run must go non-zero.
+The copy keeps the on-disk ``__init__.py`` chain, so module names (and
+therefore the suffix-based engine/entry detection) match the shipped
+package exactly.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import lint_paths
+
+REPRO_PACKAGE = Path(repro.__file__).parent
+
+INTERPROCEDURAL = ["eq", "salt", "conc"]
+
+
+@pytest.fixture
+def tree(tmp_path) -> Path:
+    copy = tmp_path / "repro"
+    shutil.copytree(REPRO_PACKAGE, copy,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return copy
+
+
+def mutate(tree: Path, relative: str, old: str, new: str) -> None:
+    path = tree / relative
+    text = path.read_text()
+    assert old in text, f"fixture drifted: {old!r} not in {relative}"
+    path.write_text(text.replace(old, new))
+
+
+class TestCleanCopyStaysClean:
+    def test_zero_active_findings(self, tree):
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.ok, [f.to_dict() for f in result.active]
+
+
+class TestSeededEngineAsymmetry:
+    def test_batched_literal_for_config_read_fails_lint(self, tree):
+        # "Edited the batched engine, replaced a config read with a
+        # tuned constant" -- the canonical drift the golden grid would
+        # only catch hours later.
+        mutate(tree, "core/batched.py",
+               "alu_lat = cfg.alu_latency", "alu_lat = 3")
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        assert any(f.rule == "eq-config-read" for f in result.active)
+
+    def test_scalar_stats_write_dropped_fails_lint(self, tree):
+        mutate(tree, "core/batched.py",
+               "stats.memory_squashes = n_squash", "pass  # dropped")
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        assert any(f.rule == "eq-stats-write" for f in result.active)
+
+
+class TestRemovedSaltEntry:
+    def test_dropped_shared_source_fails_lint(self, tree):
+        mutate(tree, "experiments/result_cache.py",
+               '"trace", "core", "memory", "branch", "analysis", "common",',
+               '"trace", "core", "memory", "analysis", "common",')
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        missing = [f for f in result.active if f.rule == "salt-missing"]
+        assert missing
+        assert any("branch" in f.message for f in missing)
+
+
+class TestUnsanctionedWorkerState:
+    def test_new_mutable_global_in_worker_path_fails_lint(self, tree):
+        mutate(tree, "trace/generator.py",
+               "def generate_trace(",
+               "_SEEN = {}\n\n\ndef _note(benchmark):\n"
+               "    _SEEN[benchmark] = True\n\n\ndef generate_trace(")
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        assert any(f.rule == "conc-mutable-global" for f in result.active)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -7,18 +7,22 @@ from collections import Counter
 
 from repro.lint import lint_paths
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
-from repro.lint.engine import ALL_RULES, collect_files
+from repro.lint.engine import (ALL_FAMILIES, ALL_RULES, collect_files,
+                               rule_family)
 from repro.lint.report import render_json, render_text
 
 import pytest
 
 
 class TestRuleRegistry:
-    def test_all_three_families_plus_parse_error_registered(self):
+    def test_all_families_plus_parse_error_registered(self):
         assert "parse-error" in ALL_RULES
         assert "oracle-leak" in ALL_RULES
-        assert any(rule.startswith("det-") for rule in ALL_RULES)
-        assert any(rule.startswith("hw-") for rule in ALL_RULES)
+        for prefix in ("det-", "hw-", "eq-", "salt-", "conc-"):
+            assert any(rule.startswith(prefix) for rule in ALL_RULES), prefix
+
+    def test_family_registry_matches_rules(self):
+        assert set(ALL_FAMILIES) == {rule_family(r) for r in ALL_RULES}
 
     def test_descriptions_are_nonempty(self):
         assert all(ALL_RULES.values())
@@ -213,3 +217,75 @@ class TestReporters:
         (entry,) = payload["findings"]
         assert entry["rule"] == "det-id"
         assert entry["fingerprint"] == findings[0].fingerprint
+
+
+class TestFamilyFilters:
+    DIRTY = """
+        def f(a):
+            return id(a)
+    """
+
+    def test_select_keeps_only_named_families(self, box):
+        box.write("mod.py", self.DIRTY)
+        result = lint_paths([box.root], select=["det"])
+        assert [f.rule for f in result.active] == ["det-id"]
+        result = lint_paths([box.root], select=["eq", "salt", "conc"])
+        assert result.active == []
+
+    def test_ignore_drops_named_families(self, box):
+        box.write("mod.py", self.DIRTY)
+        result = lint_paths([box.root], ignore=["det"])
+        assert result.active == []
+
+    def test_unknown_family_raises_value_error(self, box):
+        box.write("mod.py", "x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule family"):
+            lint_paths([box.root], select=["bogus"])
+        with pytest.raises(ValueError, match="unknown rule family"):
+            lint_paths([box.root], ignore=["bogus"])
+
+    def test_parse_error_survives_any_selection(self, box):
+        box.write("broken.py", "def f(:\n")
+        result = lint_paths([box.root], select=["eq"])
+        assert [f.rule for f in result.active] == ["parse-error"]
+
+
+class TestCliFamilyFiltersAndMetrics:
+    def test_select_flag_filters_and_exits_clean(self, box, capsys):
+        from repro.lint.cli import main
+
+        box.write("mod.py", TestFamilyFilters.DIRTY)
+        assert main([str(box.root), "--select", "eq,salt,conc"]) == 0
+        assert main([str(box.root), "--select", "det"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_family_exits_2(self, box, capsys):
+        from repro.lint.cli import main
+
+        box.write("mod.py", "x = 1\n")
+        assert main([str(box.root), "--select", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule family" in err
+
+    def test_metrics_flag_appends_jsonl_record(self, box, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        box.write("mod.py", TestFamilyFilters.DIRTY)
+        metrics = tmp_path / "obs" / "lint.jsonl"
+        assert main([str(box.root), "--metrics", str(metrics)]) == 1
+        assert main([str(box.root), "--metrics", str(metrics),
+                     "--select", "eq"]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line)
+                 for line in metrics.read_text().splitlines()]
+        assert len(lines) == 2
+        first, second = lines
+        assert first["event"] == "lint"
+        assert first["files"] == 1
+        assert first["active"] == 1
+        assert first["findings_by_family"] == {"det": 1}
+        assert first["wall_seconds"] >= 0
+        assert first["rules_run"] == len(ALL_RULES)
+        # The eq-only run checks fewer rules and finds nothing.
+        assert second["active"] == 0
+        assert second["rules_run"] < first["rules_run"]

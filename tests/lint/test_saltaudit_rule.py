@@ -1,0 +1,124 @@
+"""salt-*: cache-salt reachability audit.
+
+A miniature package shaped like the real tree — ``experiments/runner.py``
+as the cell-execution entry, ``experiments/result_cache.py`` carrying the
+salt tuples — proves each rule fires on exactly the drift it names and
+that a consistent salt stays silent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+RUNNER = """
+    from ..core.engine import simulate
+    from ..predictors.base import MDPredictor
+
+
+    def run_timing(trace, predictor):
+        return simulate(trace, predictor)
+"""
+
+RESULT_CACHE = """
+    _SHARED_SOURCES = (
+        "core", "experiments/runner.py",
+    )
+
+    _PREDICTOR_COMMON_SOURCES = (
+        "predictors/base.py",
+    )
+"""
+
+
+def write_tree(box, runner=RUNNER, result_cache=RESULT_CACHE):
+    box.write("pkg/__init__.py", "")
+    box.write("pkg/experiments/__init__.py", "")
+    box.write("pkg/experiments/runner.py", runner)
+    box.write("pkg/experiments/result_cache.py", result_cache)
+    box.write("pkg/core/__init__.py", "")
+    box.write("pkg/core/engine.py", """
+        def simulate(trace, predictor):
+            return len(trace)
+    """)
+    box.write("pkg/predictors/__init__.py", "")
+    box.write("pkg/predictors/base.py", "class MDPredictor:\n    pass\n")
+
+
+def salt_rules(box):
+    return [r for r in box.active_rules() if r.startswith("salt-")]
+
+
+class TestConsistentSaltIsSilent:
+    def test_clean_tree(self, box):
+        write_tree(box)
+        assert salt_rules(box) == []
+
+    def test_checker_stands_down_without_runner(self, box):
+        # Linting result_cache.py alone (per-file lint) must not drown
+        # the user in stale-entry noise.
+        box.write("pkg/__init__.py", "")
+        box.write("pkg/experiments/__init__.py", "")
+        box.write("pkg/experiments/result_cache.py", RESULT_CACHE)
+        assert salt_rules(box) == []
+
+
+class TestSaltMissing:
+    def test_reachable_uncovered_module_fires(self, box):
+        write_tree(box, runner=RUNNER.replace(
+            "from ..core.engine import simulate",
+            "from ..core.engine import simulate\n"
+            "    from ..helpers import tweak"))
+        box.write("pkg/helpers.py", "def tweak(x):\n    return x\n")
+        findings = [f for f in box.lint()
+                    if f.active and f.rule == "salt-missing"]
+        assert len(findings) == 1
+        assert "helpers" in findings[0].message
+        # Anchored at the salt tuple, where the fix happens.
+        assert findings[0].module.endswith("experiments.result_cache")
+
+    def test_predictor_modules_are_fingerprint_covered(self, box):
+        # predictors/ is salted per predictor, not via _SHARED_SOURCES.
+        write_tree(box, runner=RUNNER.replace(
+            "from ..predictors.base import MDPredictor",
+            "from ..predictors.base import MDPredictor\n"
+            "    from ..predictors.fancy import Fancy"))
+        box.write("pkg/predictors/fancy.py", "class Fancy:\n    pass\n")
+        assert salt_rules(box) == []
+
+    def test_removed_entry_is_caught(self, box):
+        # The acceptance-criterion drift: drop a salt entry whose tree is
+        # still reachable and the audit must fail the lint run.
+        write_tree(box, result_cache=RESULT_CACHE.replace(
+            '"core", ', ""))
+        assert "salt-missing" in salt_rules(box)
+
+
+class TestSaltStale:
+    def test_entry_matching_nothing_fires(self, box):
+        write_tree(box, result_cache=RESULT_CACHE.replace(
+            '"core",', '"core", "ghost",'))
+        findings = [f for f in box.lint()
+                    if f.active and f.rule == "salt-stale"]
+        assert len(findings) == 1
+        assert "'ghost'" in findings[0].message
+
+    def test_unreachable_entry_fires(self, box):
+        write_tree(box, result_cache=RESULT_CACHE.replace(
+            '"core",', '"core", "orphan",'))
+        box.write("pkg/orphan/__init__.py", "")
+        box.write("pkg/orphan/dead.py", "def unused():\n    return 0\n")
+        findings = [f for f in box.lint()
+                    if f.active and f.rule == "salt-stale"]
+        assert len(findings) == 1
+        assert "unreachable" in findings[0].message
+
+
+class TestSaltOpaque:
+    def test_computed_element_fires(self, box):
+        write_tree(box, result_cache=RESULT_CACHE.replace(
+            '"core",', '"core", "experiments/" + "extra.py",'))
+        assert "salt-opaque" in salt_rules(box)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
