@@ -20,7 +20,11 @@ can be reproduced without writing Python:
   determinism/cache safety, hardware realizability; see
   :mod:`repro.lint`).
 * ``doctor``    — environment health checks (cache/journal writability,
-  worker spawn, lint baseline; see :mod:`repro.doctor`).
+  cache-lock discipline, worker spawn, ``--workers`` endpoint preflight,
+  lint baseline; see :mod:`repro.doctor`).
+* ``worker``    — serve suite cells to a coordinator over TCP (the
+  ``--backend workers`` substrate; see
+  :mod:`repro.experiments.worker`).
 * ``bench-baseline`` — measure scalar vs batched engine throughput and
   write (or, with ``--check``, compare against) the committed
   ``benchmarks/BENCH_throughput.json`` (see docs/performance.md).
@@ -32,7 +36,11 @@ equivalence test tier) at several times the throughput.
 Fault tolerance: the sweep commands accept ``--cell-timeout``,
 ``--retries``, ``--keep-going`` and ``--resume RUN_ID`` (see
 docs/resilience.md); runs are journaled by default for crash recovery
-(``--no-journal`` disables).
+(``--no-journal`` disables).  ``--backend workers --workers
+host:port,...`` shards cells across ``repro worker`` processes on this
+or other hosts, with per-cell leases and heartbeats surviving any single
+worker or coordinator crash (docs/resilience.md, "Distributed
+execution").
 """
 
 from __future__ import annotations
@@ -121,6 +129,23 @@ def _policy_arg(args):
     )
 
 
+def _backend_arg(args):
+    """Map --backend/--workers onto execute_cells' backend parameter.
+
+    ``--backend local`` (the default) returns None — the historical
+    in-process pool.  ``--backend workers`` requires ``--workers`` and
+    passes its ``host:port,...`` list through; giving ``--workers`` alone
+    implies ``--backend workers``.
+    """
+    if args.backend == "workers" or args.workers is not None:
+        if args.workers is None:
+            raise SystemExit(
+                "repro: error: --backend workers requires --workers "
+                "HOST:PORT[,HOST:PORT...]")
+        return args.workers
+    return None
+
+
 def _suite_kwargs(args):
     return {
         "jobs": args.jobs,
@@ -129,6 +154,7 @@ def _suite_kwargs(args):
         "journal": _journal_arg(args),
         "resume": _resume_arg(args),
         "metrics": args.metrics,
+        "backend": _backend_arg(args),
     }
 
 
@@ -248,6 +274,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="append per-cell execution records (wall time, cache "
              "hit/miss, retries) to this JSONL file",
     )
+    parser.add_argument(
+        "--backend", choices=("local", "workers"), default="local",
+        help="execution substrate: 'local' = in-process pool (default), "
+             "'workers' = remote 'repro worker' processes (--workers)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="worker endpoints for --backend workers (implies it); "
+             "start each with 'repro worker --port PORT'",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -309,8 +345,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cycle-accounting + predictor-telemetry report for one cell "
              "(validates that the stall breakdown sums to the cycle count)",
     )
-    profile.add_argument("benchmark", choices=suite_names())
-    profile.add_argument("predictor", choices=sorted(PREDICTOR_FACTORIES))
+    profile.add_argument("benchmark", nargs="?", choices=suite_names())
+    profile.add_argument("predictor", nargs="?",
+                         choices=sorted(PREDICTOR_FACTORIES))
+    profile.add_argument(
+        "--metrics-file", default=None, metavar="FILE",
+        help="also summarise a sweep's --metrics JSONL (cells, leases, "
+             "requeues); with no benchmark/predictor, print only that",
+    )
     profile.add_argument("--uops", type=_positive_int, default=40_000)
     profile.add_argument("--core", choices=sorted(_CORES),
                          default="golden-cove")
@@ -365,6 +407,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="DIR")
     doctor.add_argument("--journal-dir", type=_cache_directory, default=None,
                         metavar="DIR")
+    doctor.add_argument(
+        "--workers", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="also preflight these 'repro worker' endpoints (handshake "
+             "+ protocol version; unreachable workers fail the check)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve suite cells to a coordinator over TCP "
+             "(--backend workers)",
+    )
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="address to bind (default: %(default)s)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = ephemeral)")
+    worker.add_argument("--ready-file", default=None, metavar="FILE",
+                        help="write host:port here once listening")
+    worker.add_argument("--max-sessions", type=int, default=None,
+                        metavar="N",
+                        help="exit after N coordinator sessions")
 
     return parser
 
@@ -449,6 +511,13 @@ def _cmd_profile(args) -> int:
     from .obs import CycleAccountingError
     from .obs.profile import profile_cell
 
+    if args.benchmark is None or args.predictor is None:
+        if args.metrics_file is None:
+            print("repro profile: benchmark and predictor are required "
+                  "unless --metrics-file is given", file=sys.stderr)
+            return 2
+        return _print_metrics_summary(args.metrics_file)
+
     report = profile_cell(args.benchmark, args.predictor, args.uops,
                           config=_CORES[args.core],
                           measure_from=args.measure_from)
@@ -463,6 +532,16 @@ def _cmd_profile(args) -> int:
         print(json.dumps(report.to_dict(), sort_keys=True))
     else:
         print(report.render())
+    if args.metrics_file is not None:
+        return _print_metrics_summary(args.metrics_file)
+    return 0
+
+
+def _print_metrics_summary(path: str) -> int:
+    from .obs import render_metrics_summary, summarize_metrics
+
+    summary = summarize_metrics(path)
+    print(f"[metrics] {render_metrics_summary(summary)}")
     return 0
 
 
@@ -549,7 +628,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "doctor":
         from .doctor import run_doctor
         return run_doctor(cache_dir=args.cache_dir,
-                          journal_dir=args.journal_dir)
+                          journal_dir=args.journal_dir,
+                          workers=args.workers)
+    if args.command == "worker":
+        from .experiments.worker import serve
+        serve(host=args.host, port=args.port, ready_file=args.ready_file,
+              max_sessions=args.max_sessions)
+        return 0
     raise AssertionError(f"unhandled command {args.command}")
 
 

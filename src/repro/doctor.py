@@ -10,9 +10,14 @@ check fails.
 Checks:
 
 * result-cache directory is creatable and writable,
+* cache-dir lock files can be taken exclusively (``O_EXCL`` honoured —
+  shared-filesystem caches sometimes fake it),
 * run-journal directory is creatable and writable,
 * a worker process can be spawned and returns a result (the parallel
   engine's substrate),
+* every ``--workers host:port`` endpoint answers the protocol handshake
+  with a matching version (distributed-backend preflight; unreachable or
+  version-skewed workers fail the check),
 * the lint baseline, when present, parses,
 * the trace generator produces a benchmark trace (simulator smoke test).
 """
@@ -42,6 +47,52 @@ def _check_cache_dir(cache_dir: Optional[str]) -> Tuple[bool, str]:
         return False, (f"cache dir {cache.directory} not writable: {error} "
                        "— set $REPRO_CACHE_DIR or pass --cache-dir")
     return True, f"cache dir writable: {cache.directory}"
+
+
+def _check_cache_lock(cache_dir: Optional[str]) -> Tuple[bool, str]:
+    from .experiments.result_cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    error = cache.probe_lock()
+    if error is not None:
+        return False, (f"cache dir {cache.directory} lock probe failed: "
+                       f"{error} — concurrent writers on this filesystem "
+                       "cannot be serialised")
+    return True, f"cache lock discipline ok: {cache.directory}"
+
+
+def _check_worker_endpoints(workers: str) -> Tuple[bool, str]:
+    from .experiments.backends import (
+        PROTOCOL_VERSION,
+        FrameError,
+        ProtocolVersionError,
+        parse_endpoints,
+        probe_endpoint,
+    )
+
+    try:
+        endpoints = parse_endpoints(workers)
+    except ValueError as error:
+        return False, f"bad --workers value: {error}"
+    problems = []
+    reachable = 0
+    for host, port in endpoints:
+        try:
+            probe_endpoint(host, port)
+        except ProtocolVersionError as error:
+            problems.append(f"{host}:{port} version skew: {error} — "
+                            "redeploy the older side")
+        except FrameError as error:
+            problems.append(f"{host}:{port} is not a repro worker "
+                            f"({error})")
+        except OSError as error:
+            problems.append(f"{host}:{port} unreachable ({error})")
+        else:
+            reachable += 1
+    if problems:
+        return False, "; ".join(problems)
+    return True, (f"{reachable}/{len(endpoints)} worker endpoint(s) "
+                  f"reachable, protocol v{PROTOCOL_VERSION}")
 
 
 def _check_journal_dir(journal_dir: Optional[str]) -> Tuple[bool, str]:
@@ -101,15 +152,25 @@ def _check_simulator() -> Tuple[bool, str]:
 
 
 def run_doctor(cache_dir: Optional[str] = None,
-               journal_dir: Optional[str] = None) -> int:
-    """Run every check, print one line each; 0 iff all passed."""
+               journal_dir: Optional[str] = None,
+               workers: Optional[str] = None) -> int:
+    """Run every check, print one line each; 0 iff all passed.
+
+    ``workers`` is a ``host:port,...`` list of ``repro worker`` endpoints
+    to preflight (the ``--workers`` value a sweep would use); omitted, the
+    distributed checks are skipped.
+    """
     checks: List[Tuple[str, Callable[[], Tuple[bool, str]]]] = [
         ("cache", lambda: _check_cache_dir(cache_dir)),
+        ("cache-lock", lambda: _check_cache_lock(cache_dir)),
         ("journal", lambda: _check_journal_dir(journal_dir)),
         ("workers", _check_worker_spawn),
         ("lint", _check_lint_baseline),
         ("simulator", _check_simulator),
     ]
+    if workers is not None:
+        checks.insert(4, ("endpoints",
+                          lambda: _check_worker_endpoints(workers)))
     failures = 0
     for name, check in checks:
         passed, message = check()

@@ -1,0 +1,709 @@
+"""Executor backends: where suite cells actually run.
+
+The supervisor loop in :mod:`repro.experiments.parallel` schedules cells,
+enforces deadlines and classifies failures — but it no longer owns the
+execution substrate.  That is an :class:`ExecutorBackend`:
+
+* :class:`LocalPoolBackend` — today's ``ProcessPoolExecutor``, wrapped
+  behaviour-preservingly.  Worker loss is *ambiguous* (every in-flight
+  future observes the same ``BrokenProcessPool``), so the supervisor keeps
+  its suspect-probation machinery for this backend.
+* :class:`WorkerBackend` — one TCP connection per ``repro worker``
+  process, which may live on other hosts.  Dispatches are covered by
+  *leases*: the worker heartbeats while computing, and a missed heartbeat
+  or dropped socket expires the lease and requeues the cell.  Worker loss
+  is *attributable* (one connection, one cell), so there is no probation;
+  a crashed worker costs exactly one requeue.
+
+Wire protocol
+-------------
+Length-prefixed JSON frames: a 4-byte big-endian length followed by a
+UTF-8 JSON object.  The coordinator connects and sends ``hello`` (version
+check), then ``run`` frames carrying the wire-encoded
+:class:`~repro.experiments.parallel.CellSpec` and a lease id; the worker
+answers with ``heartbeat`` frames while computing and one terminal
+``result`` (with a content digest the coordinator verifies — a mismatch
+is a ``result-corrupt`` failure, never a wrong number) or ``error``
+frame.  A torn frame or dropped socket is classified ``worker-lost``.
+Everything on the wire is JSON built from the same encoders as the result
+cache and journal, so a remotely computed cell is bit-identical to a
+local one.
+
+This module (with :mod:`repro.experiments.worker`) is the only sanctioned
+home for socket use — the ``conc-socket`` lint rule keeps network I/O
+from leaking into simulation code.
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+import struct
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.config import CoreConfig
+from ..memory.hierarchy import HierarchyConfig
+from ..common.hashing import stable_digest
+from .resilience import CellExecutionError
+
+__all__ = [
+    "BackendBrokenError",
+    "ExecutorBackend",
+    "FrameError",
+    "LeaseExpiredError",
+    "LocalPoolBackend",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolVersionError",
+    "RemoteCellError",
+    "ResultCorruptError",
+    "WorkerBackend",
+    "WorkerLostError",
+    "lease_id",
+    "parse_endpoints",
+    "probe_endpoint",
+    "recv_frame",
+    "send_frame",
+    "spec_from_wire",
+    "spec_to_wire",
+]
+
+#: Bump when the frame grammar changes incompatibly.  Exchanged in the
+#: ``hello`` handshake; a skewed worker is refused (and reported by
+#: ``repro doctor --workers``) rather than fed cells it may misdecode.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload; a length prefix beyond this is a
+#: protocol violation (torn stream, or not our protocol at all).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Default TCP connect timeout (seconds) for worker endpoints.
+CONNECT_TIMEOUT = 5.0
+
+
+class FrameError(ConnectionError):
+    """The byte stream violated the framing protocol (torn/oversized)."""
+
+
+class ProtocolVersionError(ConnectionError):
+    """The worker speaks a different protocol version."""
+
+
+class BackendBrokenError(RuntimeError):
+    """The execution substrate is unusable; the supervisor must rebuild."""
+
+
+class WorkerLostError(CellExecutionError):
+    """The process/connection running a cell died mid-flight.
+
+    ``original`` carries the underlying exception when one exists (the
+    local pool's ``BrokenProcessPool``), so fail-fast re-raises exactly
+    what the historical engine raised.
+    """
+
+    def __init__(self, message: str,
+                 original: Optional[BaseException] = None):
+        super().__init__(message)
+        self.original = original
+
+
+class LeaseExpiredError(CellExecutionError):
+    """A worker stopped heartbeating past the lease deadline."""
+
+
+class ResultCorruptError(CellExecutionError):
+    """A result frame failed its content-digest verification."""
+
+
+class RemoteCellError(CellExecutionError):
+    """The cell raised inside a remote worker; message carries the repr."""
+
+
+# --------------------------------------------------------------- framing
+
+def send_frame(sock: socket.socket, payload: Dict, lock=None) -> None:
+    """Serialise ``payload`` as one length-prefixed JSON frame."""
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(data)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte protocol ceiling")
+    message = _HEADER.pack(len(data)) + data
+    if lock is not None:
+        with lock:
+            sock.sendall(message)
+    else:
+        sock.sendall(message)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise FrameError(
+                    f"torn frame: stream ended {remaining} bytes short")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """Read one frame; None on clean EOF (peer closed between frames)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte protocol ceiling")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("torn frame: stream ended before the payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except ValueError as error:
+        raise FrameError(f"undecodable frame payload: {error}") from None
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload is not a JSON object")
+    return payload
+
+
+# ------------------------------------------------------------ wire codec
+
+def spec_to_wire(spec) -> Dict:
+    """JSON-serialisable form of a CellSpec (nested configs flattened)."""
+    wire = asdict(spec)
+    return wire
+
+
+def spec_from_wire(wire: Dict):
+    """Inverse of :func:`spec_to_wire`; rebuilds the config dataclasses."""
+    from .parallel import CellSpec  # local import: parallel imports us
+
+    fields = dict(wire)
+    config = fields.pop("config", None)
+    if config is not None:
+        memory = config.pop("memory", None)
+        if memory is not None:
+            config["memory"] = HierarchyConfig(**memory)
+        config = CoreConfig(**config)
+    return CellSpec(config=config, **fields)
+
+
+def lease_id(key: str, attempt: int) -> str:
+    """Deterministic lease id for one dispatch (no clock/entropy reads)."""
+    return "lease-" + stable_digest(f"{key}:{attempt}")[:12]
+
+
+def parse_endpoints(text: str) -> Tuple[Tuple[str, int], ...]:
+    """Parse ``host:port[,host:port...]`` into endpoint tuples."""
+    endpoints: List[Tuple[str, int]] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        host, sep, port = chunk.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"bad worker endpoint {chunk!r}: want host:port")
+        try:
+            endpoints.append((host, int(port)))
+        except ValueError:
+            raise ValueError(
+                f"bad worker endpoint {chunk!r}: port is not an integer"
+            ) from None
+    if not endpoints:
+        raise ValueError(f"no worker endpoints in {text!r}")
+    return tuple(endpoints)
+
+
+def _handshake(sock: socket.socket) -> Dict:
+    """Exchange hello frames; raises ProtocolVersionError on skew."""
+    send_frame(sock, {"type": "hello", "version": PROTOCOL_VERSION,
+                      "role": "coordinator"})
+    reply = recv_frame(sock)
+    if reply is None or reply.get("type") != "hello":
+        raise FrameError(f"expected hello frame, got {reply!r}")
+    if reply.get("version") != PROTOCOL_VERSION:
+        raise ProtocolVersionError(
+            f"worker speaks protocol v{reply.get('version')}, "
+            f"coordinator v{PROTOCOL_VERSION}")
+    return reply
+
+
+def probe_endpoint(host: str, port: int,
+                   timeout: float = CONNECT_TIMEOUT) -> Dict:
+    """Connect + handshake one endpoint; returns the worker's hello.
+
+    Used by ``repro doctor --workers``.  Raises ``OSError`` when the
+    endpoint is unreachable, :class:`ProtocolVersionError` on version
+    skew and :class:`FrameError` when the peer is not a repro worker.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        return _handshake(sock)
+
+
+# ----------------------------------------------------------- backend API
+
+class ExecutorBackend:
+    """Where cells run; the supervisor drives this interface.
+
+    ``submit`` hands one cell to the substrate and returns an opaque
+    handle; ``wait`` blocks up to ``timeout`` for handles to finish;
+    ``result`` returns the cell's result or raises the failure
+    (:class:`WorkerLostError`, :class:`LeaseExpiredError`,
+    :class:`ResultCorruptError`, :class:`RemoteCellError`, or the cell's
+    own exception).  ``attributable`` declares whether a worker loss
+    identifies its cell with certainty — when False the supervisor runs
+    its suspect-probation protocol; ``isolates_failures`` declares
+    whether a hung or lost worker leaves the other in-flight cells
+    untouched (True for one-connection-per-worker backends, False for a
+    shared process pool that must be replaced wholesale).
+    """
+
+    attributable = False
+    isolates_failures = False
+    #: True when dispatches are covered by journaled leases.
+    leased = False
+
+    #: Optional callback ``(action, handle)`` for lease lifecycle events
+    #: ("renew"/"expire"); the supervisor wires it to the journal and
+    #: metrics writer.  "grant" is recorded by the supervisor at submit.
+    lease_observer: Optional[Callable[[str, object], None]] = None
+
+    @property
+    def workers(self) -> int:
+        """Current concurrent capacity (may shrink as workers die)."""
+        raise NotImplementedError
+
+    def submit(self, fn, spec, lease: Optional[str] = None):
+        raise NotImplementedError
+
+    def wait(self, timeout: float) -> Set[object]:
+        raise NotImplementedError
+
+    def result(self, handle):
+        raise NotImplementedError
+
+    def done(self, handle) -> bool:
+        raise NotImplementedError
+
+    def forget(self, handle) -> None:
+        """Drop one in-flight handle (timeout path); never raises."""
+        raise NotImplementedError
+
+    def connect_all(self) -> int:
+        """Establish the substrate's connections; returns capacity.
+
+        A no-op for process-pool backends (the pool exists from
+        construction); the worker backend dials every endpoint here.
+        """
+        return self.workers
+
+    def rebuild(self) -> None:
+        """Replace a broken substrate; in-flight handles are abandoned."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def describe(self, handle) -> str:
+        """Short label of where a handle runs, for messages and leases."""
+        return "local"
+
+    #: Lifetime counters for the metrics sweep record.
+    counters: Dict[str, int]
+
+
+class LocalPoolBackend(ExecutorBackend):
+    """Today's ProcessPoolExecutor, wrapped behaviour-preservingly.
+
+    Handles are the pool's futures.  ``BrokenProcessPool`` is translated
+    to :class:`WorkerLostError` with the original exception attached, so
+    the supervisor's fail-fast path re-raises exactly what it always
+    raised.  Worker loss is ambiguous (``attributable = False``): the
+    supervisor keeps its suspect-probation machinery.
+    """
+
+    attributable = False
+    isolates_failures = False
+    leased = False
+
+    def __init__(self, workers: int):
+        self._workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers)
+        self._inflight: Set[object] = set()
+        self.counters = {}
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def submit(self, fn, spec, lease: Optional[str] = None):
+        try:
+            future = self._pool.submit(fn, spec)
+        except BrokenProcessPool as error:
+            raise BackendBrokenError(str(error)) from error
+        self._inflight.add(future)
+        return future
+
+    def wait(self, timeout: float) -> Set[object]:
+        if not self._inflight:
+            return set()
+        done, _ = wait(self._inflight, timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        self._inflight -= done
+        return done
+
+    def result(self, handle):
+        try:
+            return handle.result()
+        except BrokenProcessPool as error:
+            raise WorkerLostError(
+                "worker process died (BrokenProcessPool)",
+                original=error) from error
+
+    def done(self, handle) -> bool:
+        return handle.done()
+
+    def forget(self, handle) -> None:
+        self._inflight.discard(handle)
+
+    def rebuild(self) -> None:
+        self._terminate()
+        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+
+    def close(self) -> None:
+        self._terminate()
+        self._pool = None
+
+    def _terminate(self) -> None:
+        """Tear the pool down without waiting on hung or dead workers."""
+        pool = self._pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 — already-dead worker
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._inflight.clear()
+
+
+# ------------------------------------------------------- worker backend
+
+class _Connection:
+    """One coordinator→worker TCP session."""
+
+    def __init__(self, endpoint: Tuple[str, int], sock: socket.socket):
+        self.endpoint = endpoint
+        self.sock = sock
+        self.handle: Optional["RemoteHandle"] = None
+        #: Monotonic time of the last heartbeat (or dispatch).
+        self.last_beat = 0.0
+
+    @property
+    def label(self) -> str:
+        return f"{self.endpoint[0]}:{self.endpoint[1]}"
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteHandle:
+    """In-flight (or finished) remote cell; the WorkerBackend's handle."""
+
+    __slots__ = ("lease", "label", "finished", "_result", "_error")
+
+    def __init__(self, lease: str, label: str):
+        self.lease = lease
+        self.label = label
+        self.finished = False
+        self._result = None
+        self._error: Optional[BaseException] = None
+
+    def settle_ok(self, result) -> None:
+        self.finished = True
+        self._result = result
+
+    def settle_error(self, error: BaseException) -> None:
+        self.finished = True
+        self._error = error
+
+
+class WorkerBackend(ExecutorBackend):
+    """Cells dispatched over TCP to ``repro worker`` processes.
+
+    One connection per endpoint, one in-flight cell per connection.
+    Capacity is the number of live connections and *shrinks* as workers
+    die; dead endpoints are retried on demand (``reconnects`` counter).
+    A lease covers every dispatch: the worker heartbeats every
+    ``heartbeat_interval`` seconds while computing, and a silent gap
+    longer than ``lease_timeout`` expires the lease — the connection is
+    declared wedged, dropped, and the cell requeued by the supervisor.
+
+    Worker loss is attributable (one connection runs one cell), so a
+    crash costs exactly one requeue and never triggers probation.
+    """
+
+    attributable = True
+    isolates_failures = True
+    leased = True
+
+    def __init__(self, endpoints: Sequence[Tuple[str, int]],
+                 lease_timeout: float = 10.0,
+                 heartbeat_interval: float = 1.0,
+                 connect_timeout: float = CONNECT_TIMEOUT):
+        if not endpoints:
+            raise ValueError("WorkerBackend needs at least one endpoint")
+        self.endpoints: Tuple[Tuple[str, int], ...] = tuple(endpoints)
+        self.lease_timeout = lease_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_timeout = connect_timeout
+        self._conns: Dict[Tuple[str, int], _Connection] = {}
+        #: Endpoints refused for protocol-version skew: never retried.
+        self._skewed: Dict[Tuple[str, int], str] = {}
+        #: Per-endpoint monotonic time before which reconnects are not
+        #: attempted, so a dead endpoint is not re-dialled every tick.
+        self._retry_at: Dict[Tuple[str, int], float] = {}
+        self.reconnect_cooldown = 1.0
+        self._done: Set[RemoteHandle] = set()
+        self.lease_observer = None
+        self.counters = {
+            "leases_granted": 0,
+            "leases_expired": 0,
+            "heartbeats": 0,
+            "results": 0,
+            "reconnects": 0,
+            "worker_losses": 0,
+            "corrupt_results": 0,
+        }
+        self._ever_connected = False
+
+    # ------------------------------------------------------- connections
+
+    def _connect(self, endpoint: Tuple[str, int]) -> Optional[_Connection]:
+        if endpoint in self._skewed:
+            return None
+        if self._retry_at.get(endpoint, 0.0) > time.monotonic():
+            return None
+        try:
+            sock = socket.create_connection(endpoint,
+                                            timeout=self.connect_timeout)
+            sock.settimeout(self.connect_timeout)
+            _handshake(sock)
+            sock.settimeout(None)
+        except ProtocolVersionError as error:
+            self._skewed[endpoint] = str(error)
+            return None
+        except (OSError, FrameError):
+            self._retry_at[endpoint] = (time.monotonic()
+                                        + self.reconnect_cooldown)
+            return None
+        self._retry_at.pop(endpoint, None)
+        conn = _Connection(endpoint, sock)
+        self._conns[endpoint] = conn
+        if self._ever_connected:
+            self.counters["reconnects"] += 1
+        return conn
+
+    def _drop(self, conn: _Connection) -> None:
+        conn.close()
+        self._conns.pop(conn.endpoint, None)
+
+    def connect_all(self) -> int:
+        """Connect every endpoint not currently live; returns live count."""
+        for endpoint in self.endpoints:
+            if endpoint not in self._conns:
+                self._connect(endpoint)
+        if self._conns:
+            self._ever_connected = True
+        return len(self._conns)
+
+    @property
+    def workers(self) -> int:
+        return len(self._conns)
+
+    @property
+    def skewed(self) -> Dict[Tuple[str, int], str]:
+        """Endpoints refused for version skew (doctor/diagnostics)."""
+        return dict(self._skewed)
+
+    # --------------------------------------------------------- dispatch
+
+    def submit(self, fn, spec, lease: Optional[str] = None):
+        """Send one cell to an idle worker; ``fn`` is unused (remote)."""
+        idle = [c for c in self._conns.values() if c.handle is None]
+        if not idle:
+            self.connect_all()
+            idle = [c for c in self._conns.values() if c.handle is None]
+        last_error: Optional[Exception] = None
+        for conn in idle:
+            handle = RemoteHandle(lease or lease_id(stable_digest(
+                spec_to_wire(spec)), 1), conn.label)
+            try:
+                send_frame(conn.sock, {
+                    "type": "run",
+                    "lease": handle.lease,
+                    "heartbeat": self.heartbeat_interval,
+                    "spec": spec_to_wire(spec),
+                })
+            except OSError as error:
+                last_error = error
+                self._drop(conn)
+                continue
+            conn.handle = handle
+            conn.last_beat = time.monotonic()
+            self.counters["leases_granted"] += 1
+            return handle
+        raise BackendBrokenError(
+            "no live worker connection to dispatch to"
+            + (f" ({last_error})" if last_error else ""))
+
+    # ----------------------------------------------------------- events
+
+    def wait(self, timeout: float) -> Set[RemoteHandle]:
+        deadline = time.monotonic() + timeout
+        while True:
+            self._poll_sockets(max(deadline - time.monotonic(), 0.0))
+            self._expire_leases()
+            if self._done or time.monotonic() >= deadline:
+                done, self._done = self._done, set()
+                return done
+
+    def _poll_sockets(self, timeout: float) -> None:
+        conns = list(self._conns.values())
+        if not conns:
+            if timeout > 0:
+                time.sleep(min(timeout, 0.05))
+            return
+        try:
+            readable, _, _ = select.select(
+                [c.sock for c in conns], [], [], timeout)
+        except (OSError, ValueError):
+            # A socket died between listing and selecting; poll each.
+            readable = [c.sock for c in conns]
+        by_sock = {c.sock: c for c in conns}
+        for sock in readable:
+            conn = by_sock.get(sock)
+            if conn is not None and conn.endpoint in self._conns:
+                self._read_one(conn)
+
+    def _read_one(self, conn: _Connection) -> None:
+        try:
+            frame = recv_frame(conn.sock)
+        except (OSError, FrameError) as error:
+            self._lose(conn, f"connection to {conn.label} failed: {error}")
+            return
+        if frame is None:
+            self._lose(conn, f"worker {conn.label} closed the connection")
+            return
+        kind = frame.get("type")
+        handle = conn.handle
+        if kind == "heartbeat":
+            conn.last_beat = time.monotonic()
+            self.counters["heartbeats"] += 1
+            if handle is not None and self.lease_observer is not None:
+                self.lease_observer("renew", handle)
+            return
+        if handle is None:
+            return  # stray frame on an idle connection: ignore
+        if kind == "result":
+            encoded = frame.get("result")
+            if stable_digest(encoded) != frame.get("digest"):
+                self.counters["corrupt_results"] += 1
+                handle.settle_error(ResultCorruptError(
+                    f"result digest mismatch from {conn.label} "
+                    f"(lease {handle.lease})"))
+            else:
+                from .result_cache import decode_result
+                try:
+                    handle.settle_ok(decode_result(encoded))
+                    self.counters["results"] += 1
+                except (KeyError, TypeError, ValueError) as error:
+                    self.counters["corrupt_results"] += 1
+                    handle.settle_error(ResultCorruptError(
+                        f"undecodable result from {conn.label}: {error}"))
+            conn.handle = None
+            self._done.add(handle)
+        elif kind == "error":
+            handle.settle_error(RemoteCellError(
+                f"{frame.get('error')} (on {conn.label})"))
+            conn.handle = None
+            self._done.add(handle)
+
+    def _lose(self, conn: _Connection, message: str) -> None:
+        handle = conn.handle
+        self._drop(conn)
+        if handle is not None and not handle.finished:
+            self.counters["worker_losses"] += 1
+            handle.settle_error(WorkerLostError(message))
+            self._done.add(handle)
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            handle = conn.handle
+            if handle is None:
+                continue
+            if now - conn.last_beat > self.lease_timeout:
+                self.counters["leases_expired"] += 1
+                handle.settle_error(LeaseExpiredError(
+                    f"lease {handle.lease} on {conn.label} expired: no "
+                    f"heartbeat for {self.lease_timeout:.3g}s"))
+                if self.lease_observer is not None:
+                    self.lease_observer("expire", handle)
+                # The worker is wedged or partitioned: the connection
+                # cannot be trusted for further dispatches.
+                self._done.add(handle)
+                self._drop(conn)
+
+    # ---------------------------------------------------------- results
+
+    def result(self, handle: RemoteHandle):
+        if handle._error is not None:
+            raise handle._error
+        return handle._result
+
+    def done(self, handle: RemoteHandle) -> bool:
+        return handle.finished
+
+    def forget(self, handle: RemoteHandle) -> None:
+        """Abandon one in-flight cell (timeout): drop its connection."""
+        self._done.discard(handle)
+        for conn in list(self._conns.values()):
+            if conn.handle is handle:
+                conn.handle = None
+                self._drop(conn)
+
+    def rebuild(self) -> None:
+        for conn in list(self._conns.values()):
+            self._drop(conn)
+        self._done.clear()
+        self._retry_at.clear()  # a deliberate rebuild re-dials everything
+        self.connect_all()
+
+    def close(self) -> None:
+        for conn in list(self._conns.values()):
+            self._drop(conn)
+        self._done.clear()
+
+    def describe(self, handle) -> str:
+        return getattr(handle, "label", "worker")

@@ -23,6 +23,7 @@ from ..predictors.sizing import PredictorSizing, table2_rows
 from ..trace.profiles import suite_names
 from ..trace.uop import BypassClass
 from .parallel import (
+    BackendSpec,
     CacheSpec,
     CellSpec,
     JournalSpec,
@@ -237,13 +238,14 @@ def fig7_ipc_full(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> IpcFigureResult:
     """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
     predictors = ["nosq", "phast", "mascot"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
                           journal=journal, resume=resume,
-                          metrics=metrics)
+                          metrics=metrics, backend=backend)
     return IpcFigureResult(
         title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
         suite=suite, predictors=predictors,
@@ -259,13 +261,14 @@ def fig9_ipc_mdp_only(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> IpcFigureResult:
     """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
     predictors = ["store-sets", "phast", "mascot-mdp"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
                           journal=journal, resume=resume,
-                          metrics=metrics)
+                          metrics=metrics, backend=backend)
     return IpcFigureResult(
         title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
         suite=suite, predictors=predictors,
@@ -314,12 +317,13 @@ def fig8_mispredictions(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig8Result:
     """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
     results = run_accuracy_suite(list(predictors), benchmarks, num_uops,
                                  jobs=jobs, cache=cache, policy=policy,
                                  journal=journal, resume=resume,
-                                 metrics=metrics)
+                                 metrics=metrics, backend=backend)
     totals: Dict[str, int] = {}
     false_deps: Dict[str, int] = {}
     spec_errors: Dict[str, int] = {}
@@ -377,12 +381,13 @@ def fig10_prediction_mix(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig10Result:
     """MASCOT's prediction and misprediction type mixes (Fig. 10)."""
     results = run_accuracy_suite(["mascot"], benchmarks, num_uops,
                                  jobs=jobs, cache=cache, policy=policy,
                                  journal=journal, resume=resume,
-                                 metrics=metrics)["mascot"]
+                                 metrics=metrics, backend=backend)["mascot"]
     prediction_mix: Dict[str, Dict[str, float]] = {}
     misprediction_mix: Dict[str, Dict[str, float]] = {}
     for bench, run in results.items():
@@ -450,16 +455,19 @@ def fig11_ablation(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig11Result:
     """MASCOT vs the no-non-dependence TAGE ablation (Fig. 11)."""
     predictors = ["mascot", "mascot-mdp", "tage-no-nd", "tage-no-nd-mdp"]
     ipc = run_ipc_suite(predictors, benchmarks, num_uops,
                         jobs=jobs, cache=cache, policy=policy,
-                        journal=journal, resume=resume, metrics=metrics)
+                        journal=journal, resume=resume, metrics=metrics,
+                        backend=backend)
     accuracy = run_accuracy_suite(["mascot", "tage-no-nd"], benchmarks,
                                   num_uops, jobs=jobs, cache=cache,
                                   policy=policy, journal=journal,
-                                  resume=resume, metrics=metrics)
+                                  resume=resume, metrics=metrics,
+                                  backend=backend)
     false_deps: Dict[str, int] = {}
     for name, per_bench in accuracy.items():
         false_deps[name] = sum(
@@ -505,6 +513,7 @@ def fig12_future_architectures(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig12Result:
     """MASCOT and the SMB ceiling on larger cores (Fig. 12)."""
     predictors = ["perfect-mdp-smb", "mascot"]
@@ -514,7 +523,7 @@ def fig12_future_architectures(
         suite = run_ipc_suite(predictors, benchmarks, num_uops, config=core,
                               jobs=jobs, cache=cache, policy=policy,
                               journal=journal, resume=resume,
-                              metrics=metrics)
+                              metrics=metrics, backend=backend)
         geomeans[core.name] = {p: suite.geomean(p) for p in predictors}
         failures.extend(_suite_failures(suite))
     return Fig12Result(geomeans=geomeans, failures=failures)
@@ -552,6 +561,7 @@ def fig13_table_usage(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig13Result:
     """Share of predictions served by each MASCOT table (Fig. 13)."""
     # warmup=0: every prediction of the run counts, as the figure's
@@ -563,6 +573,7 @@ def fig13_table_usage(
                                  warmup=0, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
                                  resume=resume, metrics=metrics,
+                                 backend=backend,
                                  telemetry=True)["mascot"]
     totals: List[int] = []
     for run in results.values():
@@ -626,6 +637,7 @@ def fig14_f1_ranking(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig14Result:
     """Rank-ordered per-entry F1 scores, averaged over benchmarks (Fig. 14)."""
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
@@ -638,7 +650,8 @@ def fig14_f1_ranking(
     failures: List[CellFailure] = []
     for result in execute_cells(cells, jobs=jobs, cache=cache,
                                 policy=policy, journal=journal,
-                                resume=resume, metrics=metrics):
+                                resume=resume, metrics=metrics,
+                                backend=backend):
         if isinstance(result, CellFailure):
             failures.append(result)
             continue
@@ -678,6 +691,7 @@ def fig15_mascot_opt(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
 ) -> Fig15Result:
     """Area-optimised MASCOT variants: IPC delta vs storage (Fig. 15)."""
     predictors = ["mascot", "mascot-opt", "mascot-opt-tag2",
@@ -685,7 +699,7 @@ def fig15_mascot_opt(
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           baseline="mascot", jobs=jobs, cache=cache,
                           policy=policy, journal=journal, resume=resume,
-                          metrics=metrics)
+                          metrics=metrics, backend=backend)
     sizes = {
         "mascot": MASCOT_DEFAULT.storage_kib,
         "mascot-opt": MASCOT_OPT.storage_kib,

@@ -50,6 +50,7 @@ import hashlib
 import json
 import os
 import sys
+import time
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -62,6 +63,7 @@ from .runner import PredictionRunResult
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
+    "CacheLock",
     "ResultCache",
     "cell_key",
     "decode_result",
@@ -196,6 +198,84 @@ def decode_result(payload: Dict) -> Union[PipelineStats, PredictionRunResult]:
     raise ValueError(f"unknown cached result kind {kind!r}")
 
 
+class CacheLock:
+    """Advisory cross-process lock file for shared cache directories.
+
+    ``os.replace`` already makes each local store atomic, but a
+    multi-host sweep (``WorkerBackend`` coordinators on several machines
+    pointed at one NFS-mounted cache) can race two writers on the same
+    key: rename atomicity across NFS clients is weaker, and concurrent
+    quarantine moves can collide.  The lock is an ``O_CREAT | O_EXCL``
+    file next to the entry — the one creation primitive that is atomic on
+    NFS — holding the creator's pid for post-mortems.
+
+    Deliberately *best-effort*: if the lock cannot be acquired within
+    ``timeout`` seconds the caller proceeds unlocked (counted by the
+    owner, surfaced in doctor/metrics) rather than stalling a sweep —
+    losing the race costs at worst one redundant store of bit-identical
+    bytes.  A lock file older than ``stale_after`` seconds is broken: its
+    holder died between acquire and release, and no store ever takes
+    anywhere near that long.
+    """
+
+    def __init__(self, path: Union[str, Path], timeout: float = 2.0,
+                 stale_after: float = 30.0):
+        self.path = Path(path)
+        self.timeout = float(timeout)
+        self.stale_after = float(stale_after)
+        self.acquired = False
+
+    def acquire(self) -> bool:
+        """Try to take the lock; False means *proceed unlocked*."""
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(0.05)
+                continue
+            except OSError:
+                return False  # unwritable directory: proceed unlocked
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            finally:
+                os.close(fd)
+            self.acquired = True
+            return True
+
+    def _break_if_stale(self) -> None:
+        """Remove a lock whose holder evidently died; best-effort."""
+        try:
+            # Wall-clock age of the lock file vs its mtime: gates crash
+            # cleanup only, never results.
+            # repro-lint: allow(det-time) -- lock-file age for stale-break
+            age = time.time() - self.path.stat().st_mtime
+            if age > self.stale_after:
+                self.path.unlink()
+        except OSError:
+            pass  # raced another breaker, or the holder released it
+
+    def release(self) -> None:
+        if not self.acquired:
+            return
+        self.acquired = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # a stale-breaker stole it; nothing left to release
+
+    def __enter__(self) -> "CacheLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
 class ResultCache:
     """One JSON file per cell key under a cache directory.
 
@@ -218,6 +298,10 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.quarantined = 0
+        #: Stores/quarantines that proceeded unlocked after losing the
+        #: lock race past its timeout (harmless locally; a signal that a
+        #: shared cache directory is congested or its FS is slow).
+        self.lock_timeouts = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -242,6 +326,31 @@ class ResultCache:
         except OSError as error:
             return str(error)
         return None
+
+    def probe_lock(self) -> Optional[str]:
+        """None when a lock file can be taken and released, else the reason.
+
+        ``repro doctor`` preflight for shared cache directories: some
+        network filesystems advertise writability yet break ``O_EXCL``
+        creation semantics, which would silently disable the concurrent
+        -writer discipline below.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            return str(error)
+        lock = CacheLock(self.directory / f".probe-{os.getpid()}.lock",
+                         timeout=0.5)
+        if not lock.acquire():
+            return "could not create an O_EXCL lock file"
+        if lock.acquire():  # a second grab must fail while held
+            lock.release()
+            return "lock file was not exclusive (O_EXCL not honoured)"
+        lock.release()
+        return None
+
+    def _lock_for(self, path: Path) -> CacheLock:
+        return CacheLock(path.with_name(path.name + ".lock"))
 
     def load(self, key: str) -> Optional[object]:
         """Decoded result for ``key``, or None on miss/staleness/corruption.
@@ -283,15 +392,21 @@ class ResultCache:
         if self.read_only:
             return  # the entry simply stays a miss
         try:
-            qdir = self.quarantine_dir
-            qdir.mkdir(parents=True, exist_ok=True)
-            target = qdir / path.name
-            counter = 0
-            while target.exists():
-                counter += 1
-                target = qdir / f"{path.name}.{counter}"
-            os.replace(path, target)
-            self.quarantined += 1
+            lock = self._lock_for(path)
+            if not lock.acquire():
+                self.lock_timeouts += 1
+            try:
+                qdir = self.quarantine_dir
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / path.name
+                counter = 0
+                while target.exists():
+                    counter += 1
+                    target = qdir / f"{path.name}.{counter}"
+                os.replace(path, target)
+                self.quarantined += 1
+            finally:
+                lock.release()
         except OSError:
             pass  # read-only cache: the entry simply stays a miss
 
@@ -299,9 +414,13 @@ class ResultCache:
         """Atomically persist ``result`` under ``key``.
 
         The temp-file + ``os.replace`` dance guarantees a reader (or a
-        worker killed mid-write) can never observe a torn entry.  A
-        read-only cache skips the store silently (the warning was issued
-        once, at resolve time).
+        worker killed mid-write) can never observe a torn entry, and a
+        per-entry :class:`CacheLock` serialises concurrent writers of the
+        same key on shared filesystems (several coordinators warming one
+        NFS cache).  Losing the lock race past its timeout downgrades to
+        the unlocked store — still atomic locally — and bumps
+        ``lock_timeouts``.  A read-only cache skips the store silently
+        (the warning was issued once, at resolve time).
         """
         if self.read_only:
             return
@@ -314,10 +433,16 @@ class ResultCache:
         }
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, path)
-        self.stores += 1
+        lock = self._lock_for(path)
+        if not lock.acquire():
+            self.lock_timeouts += 1
+        try:
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+            self.stores += 1
+        finally:
+            lock.release()
 
 
 def cell_key(spec) -> str:

@@ -28,6 +28,7 @@ from ..predictors.store_sets import StoreSets
 from ..predictors.tage_nond import TAGE_NO_ND_CONFIG
 from ..trace.profiles import suite_names
 from .parallel import (
+    BackendSpec,
     CacheSpec,
     CellSpec,
     JournalSpec,
@@ -149,6 +150,7 @@ def run_ipc_suite(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
     engine: str = "scalar",
 ) -> IpcSuiteResult:
     """Timing-mode sweep; the baseline is added automatically if missing.
@@ -156,8 +158,10 @@ def run_ipc_suite(
     ``jobs`` shards the (benchmark × predictor) cells across worker
     processes; ``cache`` enables the on-disk result cache (see
     :data:`~repro.experiments.parallel.CacheSpec`); ``policy``, ``journal``
-    and ``resume`` configure fault tolerance and crash recovery (see
-    :func:`~repro.experiments.parallel.execute_cells`).  The grid is
+    and ``resume`` configure fault tolerance and crash recovery, and
+    ``backend`` selects the execution substrate — ``None``/``"local"``
+    for the in-process pool, ``"host:port,..."`` for ``repro worker``
+    endpoints (see :func:`~repro.experiments.parallel.execute_cells`).  The grid is
     bit-identical for every ``jobs`` value and cache state — and, by the
     golden equivalence tier, for either ``engine`` (``"scalar"`` reference
     pipeline or the faster ``"batched"`` engine).
@@ -176,7 +180,8 @@ def run_ipc_suite(
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
-                                 resume=resume, metrics=metrics)
+                                 resume=resume, metrics=metrics,
+                                 backend=backend)
 
     ipc: Dict[str, Dict[str, float]] = {n: {} for n in names}
     stats: Dict[str, Dict[str, PipelineStats]] = {n: {} for n in names}
@@ -211,6 +216,7 @@ def run_accuracy_suite(
     journal: JournalSpec = None,
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
+    backend: BackendSpec = None,
     telemetry: bool = False,
 ) -> Dict[str, Dict[str, PredictionRunResult]]:
     """Prediction-only sweep: results[predictor][benchmark].
@@ -239,7 +245,8 @@ def run_accuracy_suite(
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,
                                  policy=policy, journal=journal,
-                                 resume=resume, metrics=metrics)
+                                 resume=resume, metrics=metrics,
+                                 backend=backend)
 
     results: Dict[str, Dict[str, PredictionRunResult]] = {
         n: {} for n in names

@@ -20,12 +20,24 @@ that surface:
   created at module scope in a worker-reachable module: handles do not
   survive the process boundary (fork shares fds, spawn re-imports), so
   they must be created per worker instead.
+* ``conc-socket``         — socket creation anywhere outside the two
+  modules that own the coordinator/worker wire protocol
+  (:data:`SOCKET_SANCTIONED_MODULES`).  The distributed backend's
+  crash-safety argument rests on *all* network I/O flowing through one
+  audited frame codec; a stray socket elsewhere bypasses the lease,
+  digest and fault-injection machinery.
+* ``conc-file-lock``      — file-locking primitives (``fcntl.flock`` /
+  ``lockf``, ``os.open`` with ``O_EXCL``) outside the result cache
+  (:data:`FILE_LOCK_SANCTIONED_MODULES`), whose ``CacheLock`` is the one
+  place allowed to hold cross-process locks — ad-hoc locks deadlock
+  against it on shared filesystems.
 
 Reachability is the conservative call-graph closure of
 :mod:`repro.lint.callgraph` seeded at ``compute_cell``; ``functools``
 caches (``lru_cache``) are exempt — they are content-keyed memos the
-runtime owns.  The checker stands down when no worker entry point is in
-the linted tree.
+runtime owns.  The reachability rules stand down when no worker entry
+point is in the linted tree; the boundary rules (``conc-socket``,
+``conc-file-lock``) scan every module unconditionally.
 """
 
 from __future__ import annotations
@@ -38,7 +50,8 @@ from .findings import Finding
 from .index import PackageIndex, _dotted
 from .source import SourceModule
 
-__all__ = ["RULES", "check", "WORKER_ENTRY_POINTS"]
+__all__ = ["RULES", "check", "WORKER_ENTRY_POINTS",
+           "SOCKET_SANCTIONED_MODULES", "FILE_LOCK_SANCTIONED_MODULES"]
 
 RULES: Dict[str, str] = {
     "conc-mutable-global": "mutable module-level state in a worker-reachable "
@@ -46,11 +59,38 @@ RULES: Dict[str, str] = {
     "conc-global-rebind": "global-statement rebind in worker-reachable code",
     "conc-process-handle": "process-bound handle created at module scope in "
                            "a worker-reachable module",
+    "conc-socket": "socket use outside the sanctioned protocol modules",
+    "conc-file-lock": "file-lock primitive outside the result cache",
 }
 
 #: (module suffix, function name) seeds for worker reachability: the pure
 #: functions the process pool maps over cells.
 WORKER_ENTRY_POINTS = (("experiments.parallel", "compute_cell"),)
+
+#: The only modules allowed to create sockets: the coordinator-side frame
+#: codec/backend and the ``repro worker`` service.  All network I/O must
+#: flow through their audited length-prefixed protocol.
+SOCKET_SANCTIONED_MODULES = frozenset({
+    "repro.experiments.backends",
+    "repro.experiments.worker",
+})
+
+#: The only module allowed to take cross-process file locks: the result
+#: cache's ``CacheLock`` (shared-filesystem writer discipline).
+FILE_LOCK_SANCTIONED_MODULES = frozenset({
+    "repro.experiments.result_cache",
+})
+
+#: Calls that create a network socket.
+_SOCKET_CALLS = frozenset({
+    "socket.socket", "socket.create_connection", "socket.create_server",
+    "socket.socketpair", "socket.fromfd",
+})
+
+#: Calls that take (or implement) a cross-process file lock.
+_FILE_LOCK_CALLS = frozenset({
+    "fcntl.flock", "fcntl.lockf", "msvcrt.locking",
+})
 
 #: Constructors whose module-scope result is a mutable container.
 _MUTABLE_CTORS = frozenset({
@@ -237,6 +277,68 @@ class _ModuleScan:
                 )
 
 
+def _resolved_call(index: PackageIndex, module: str,
+                   call: ast.Call) -> Optional[str]:
+    """Dotted target of a call through the module's import table."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return index.resolve(module, func.id)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        base = index.resolve(module, func.value.id)
+        return f"{base}.{func.attr}"
+    return None
+
+
+def _uses_o_excl(call: ast.Call) -> bool:
+    """True when any argument expression mentions ``O_EXCL``."""
+    values = list(call.args) + [kw.value for kw in call.keywords]
+    for value in values:
+        for node in ast.walk(value):
+            if isinstance(node, ast.Attribute) and node.attr == "O_EXCL":
+                return True
+            if isinstance(node, ast.Name) and node.id == "O_EXCL":
+                return True
+    return False
+
+
+def _boundary_findings(index: PackageIndex) -> List[Finding]:
+    """conc-socket / conc-file-lock: whole-package, any nesting depth."""
+    findings: List[Finding] = []
+    for name in sorted(index.modules):
+        mod = index.modules[name]
+        socket_ok = name in SOCKET_SANCTIONED_MODULES
+        lock_ok = name in FILE_LOCK_SANCTIONED_MODULES
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolved_call(index, name, node)
+            if target is None:
+                continue
+            if not socket_ok and target in _SOCKET_CALLS:
+                findings.append(Finding(
+                    rule="conc-socket", module=name, path=str(mod.path),
+                    line=node.lineno, col=node.col_offset,
+                    message=f"{target}() outside the sanctioned protocol "
+                            "modules; all network I/O must go through "
+                            "repro.experiments.backends/.worker so leases, "
+                            "digests and fault injection cover it",
+                    symbol=f"{name}:{target}",
+                ))
+            elif not lock_ok and (target in _FILE_LOCK_CALLS
+                                  or (target == "os.open"
+                                      and _uses_o_excl(node))):
+                findings.append(Finding(
+                    rule="conc-file-lock", module=name, path=str(mod.path),
+                    line=node.lineno, col=node.col_offset,
+                    message=f"{target}() takes a cross-process file lock "
+                            "outside repro.experiments.result_cache; use "
+                            "CacheLock so lock discipline stays in one "
+                            "audited place",
+                    symbol=f"{name}:{target}",
+                ))
+    return findings
+
+
 def _rebind_findings(index: PackageIndex, graph: CallGraph,
                      reachable_functions: Set[str]) -> List[Finding]:
     findings: List[Finding] = []
@@ -260,6 +362,8 @@ def _rebind_findings(index: PackageIndex, graph: CallGraph,
 
 
 def check(index: PackageIndex) -> List[Finding]:
+    findings: List[Finding] = _boundary_findings(index)
+
     seeds = []
     for suffix, func_name in WORKER_ENTRY_POINTS:
         for module in sorted(index.modules):
@@ -268,12 +372,11 @@ def check(index: PackageIndex) -> List[Finding]:
                 if f"{module}.{func_name}" in index.functions:
                     seeds.append(qualname)
     if not seeds:
-        return []
+        return findings
 
     graph = CallGraph(index)
     reach = graph.reachable(seeds)
 
-    findings: List[Finding] = []
     for module in sorted(reach.modules):
         mod = index.modules.get(module)
         if mod is None:

@@ -81,6 +81,12 @@ MONOTONIC_CLOCK_MODULES = frozenset({
     "repro.experiments.parallel",
     "repro.experiments.bench_baseline",
     "repro.lint.cli",
+    # Distributed substrate: lease deadlines, heartbeat ages, reconnect
+    # cooldowns — scheduling only, never part of a result.
+    "repro.experiments.backends",
+    # CacheLock wait budget (its one wall-clock read, lock-file age for
+    # stale-break, carries a det-time pragma at the call site).
+    "repro.experiments.result_cache",
 })
 
 #: Modules allowed to open files for writing.  Everything else — the
@@ -99,6 +105,9 @@ SANCTIONED_WRITE_MODULES = frozenset({
     # The perf-baseline writer: BENCH_throughput.json is a committed
     # artifact, produced on explicit request, never from a suite cell.
     "repro.experiments.bench_baseline",
+    # The worker service's ready-file (host:port for launch scripts);
+    # cell computation inside the worker stays write-free.
+    "repro.experiments.worker",
 })
 
 _RANDOM_DRAWS = frozenset({

@@ -27,7 +27,7 @@ the aggregates are computed from attributable:
 """
 
 from .cycles import CYCLE_CATEGORIES, CycleAccountingError, CycleStack
-from .metrics import MetricsWriter
+from .metrics import MetricsWriter, render_metrics_summary, summarize_metrics
 from .telemetry import TableTelemetry
 
 __all__ = [
@@ -35,5 +35,7 @@ __all__ = [
     "CycleAccountingError",
     "CycleStack",
     "MetricsWriter",
+    "render_metrics_summary",
+    "summarize_metrics",
     "TableTelemetry",
 ]

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-__all__ = ["MetricsWriter"]
+__all__ = ["MetricsWriter", "render_metrics_summary", "summarize_metrics"]
 
 
 class MetricsWriter:
@@ -58,3 +58,84 @@ class MetricsWriter:
 
     def __repr__(self) -> str:
         return f"MetricsWriter({str(self.path)!r}, records={self.records})"
+
+
+#: WorkerBackend counter names folded into the summary from ``sweep``
+#: records (see ``repro.experiments.backends``).
+_BACKEND_COUNTERS = (
+    "leases_granted", "leases_expired", "heartbeats", "reconnects",
+    "worker_losses", "corrupt_results",
+)
+
+
+def summarize_metrics(path: Union[str, Path]) -> Dict[str, object]:
+    """Aggregate a metrics JSONL file into one dict of counts.
+
+    Tolerates a torn final line (a sweep killed mid-append) and unknown
+    events, mirroring the journal loader's discipline.  Sums per-cell
+    records (by source and status), ``requeue`` events by failure kind,
+    and the distributed-backend counters carried by ``sweep`` records.
+    """
+    summary: Dict[str, object] = {
+        "cells": 0, "computed": 0, "cache_hits": 0, "from_journal": 0,
+        "failed": 0, "sweeps": 0,
+        "requeues": {},
+        **{name: 0 for name in _BACKEND_COUNTERS},
+    }
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return summary
+    requeues: Dict[str, int] = summary["requeues"]
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail of a killed sweep
+        if not isinstance(record, dict):
+            continue
+        event = record.get("event")
+        if event == "cell":
+            summary["cells"] += 1
+            source = record.get("source")
+            if source == "cache":
+                summary["cache_hits"] += 1
+            elif source == "journal":
+                summary["from_journal"] += 1
+            else:
+                summary["computed"] += 1
+            if record.get("status") == "failed":
+                summary["failed"] += 1
+        elif event == "requeue":
+            kind = str(record.get("kind"))
+            requeues[kind] = requeues.get(kind, 0) + 1
+        elif event == "sweep":
+            summary["sweeps"] += 1
+            backend = record.get("backend")
+            if isinstance(backend, dict):
+                for name in _BACKEND_COUNTERS:
+                    value = backend.get(name)
+                    if isinstance(value, int):
+                        summary[name] += value
+    return summary
+
+
+def render_metrics_summary(summary: Dict[str, object]) -> str:
+    """One human-readable line over a :func:`summarize_metrics` dict."""
+    parts = [
+        f"{summary['cells']} cells"
+        f" ({summary['computed']} computed, {summary['cache_hits']} cached,"
+        f" {summary['from_journal']} resumed, {summary['failed']} failed)",
+        f"leases {summary['leases_granted']} granted"
+        f"/{summary['leases_expired']} expired",
+        f"{summary['heartbeats']} heartbeats",
+        f"{summary['reconnects']} reconnects",
+    ]
+    requeues = summary.get("requeues") or {}
+    if requeues:
+        detail = ", ".join(f"{kind}: {count}"
+                           for kind, count in sorted(requeues.items()))
+        parts.append(f"requeued {sum(requeues.values())} ({detail})")
+    else:
+        parts.append("requeued 0")
+    return "; ".join(parts)

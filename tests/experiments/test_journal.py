@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.experiments.journal import (
     JOURNAL_DIR_ENV,
@@ -151,3 +152,190 @@ class TestJournalState:
         result = _result()
         state = JournalState(run_id="x", completed={"k": result})
         assert encode_result(state.completed["k"]) == encode_result(result)
+
+
+class TestLeaseRecords:
+    """Lease grant/renew/expire records and their replay semantics."""
+
+    def test_open_lease_marks_cell_in_flight(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_lease("grant", KEYS[0], "lease-1", "w0")
+        run.record_lease("renew", KEYS[0], "lease-1", "w0")
+        run.finish()
+        state = journal.load(run.run_id)
+        assert set(state.leased) == {KEYS[0]}
+        assert state.leased[KEYS[0]]["action"] == "renew"
+        assert state.leased[KEYS[0]]["worker"] == "w0"
+
+    def test_terminal_records_discharge_the_lease(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_lease("grant", KEYS[0], "lease-1", "w0")
+        run.record_ok(KEYS[0], 1, 0.1, "computed", _result())
+        run.record_lease("grant", KEYS[1], "lease-2", "w1")
+        run.record_fail(KEYS[1], 1, "worker-lost", "socket dropped")
+        run.finish()
+        state = journal.load(run.run_id)
+        assert state.leased == {}
+        assert KEYS[0] in state.completed and KEYS[1] in state.failed
+
+    def test_expire_returns_the_cell_to_the_queue(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_lease("grant", KEYS[0], "lease-1", "w0")
+        run.record_lease("expire", KEYS[0], "lease-1", "w0")
+        run.record_lease("grant", KEYS[1], "lease-2", "w1")
+        run.record_lease("expire", KEYS[1], "lease-2", "w1")
+        run.record_lease("grant", KEYS[1], "lease-3", "w0")  # retry
+        run.finish()
+        state = journal.load(run.run_id)
+        assert set(state.leased) == {KEYS[1]}
+        assert state.leased[KEYS[1]]["lease"] == "lease-3"
+
+    def test_stale_grant_after_ok_is_ignored(self, tmp_path):
+        # A duplicated delivery of a lease record after the cell already
+        # completed must never push a finished cell back to in-flight.
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_ok(KEYS[0], 1, 0.1, "computed", _result())
+        run.record_lease("grant", KEYS[0], "lease-9", "w0")
+        run.finish()
+        state = journal.load(run.run_id)
+        assert KEYS[0] in state.completed
+        assert state.leased == {}
+
+    def test_load_many_completion_wins_over_stale_lease(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        first = journal.begin(KEYS)
+        first.record_lease("grant", KEYS[0], "lease-1", "w0")
+        first.finish()  # crashed run: lease never discharged
+        second = journal.begin(KEYS)
+        second.record_ok(KEYS[0], 1, 0.1, "computed", _result())
+        second.finish()
+        state = journal.load_many([first.run_id, second.run_id])
+        assert KEYS[0] in state.completed
+        assert state.leased == {}
+
+    def test_torn_tail_mid_lease_record(self, tmp_path):
+        # SIGKILL while appending a lease record: the torn line is
+        # skipped, everything before it replays.
+        journal = RunJournal(tmp_path)
+        run = journal.begin(KEYS)
+        run.record_ok(KEYS[0], 1, 0.1, "computed", _result())
+        run.record_lease("grant", KEYS[1], "lease-1", "w0")
+        run.record_lease("renew", KEYS[1], "lease-1", "w0")
+        path = journal.path_for(run.run_id)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:3]) + lines[3][:25])
+        state = journal.load(run.run_id)
+        assert set(state.completed) == {KEYS[0]}
+        assert set(state.leased) == {KEYS[1]}
+        assert state.leased[KEYS[1]]["action"] == "grant"
+
+
+class TestResumeAfterCrash:
+    def test_resume_recomputes_only_unleased_unfinished(self, tmp_path,
+                                                        monkeypatch):
+        """A coordinator killed with one cell leased in flight and one
+        never dispatched: resume restores the two completed cells and
+        recomputes exactly the other two, bit-identically."""
+        from repro.experiments import parallel
+        from repro.experiments.parallel import CellSpec, execute_cells
+        from repro.experiments.result_cache import cell_key
+
+        grid = [CellSpec(mode="accuracy", benchmark=b, num_uops=3_000,
+                         predictor="mascot")
+                for b in ("exchange2", "lbm", "mcf", "xalancbmk")]
+        keys = [cell_key(spec) for spec in grid]
+        journal = RunJournal(tmp_path)
+        full = execute_cells(grid, journal=journal)
+
+        # Forge the crashed run: completion of the last two cells never
+        # made it to disk, and the third was leased out at the kill.
+        lines = journal.path_for(journal.last_run_id).read_text().splitlines()
+        kept = [line for line in lines
+                if not (('"event": "ok"' in line
+                         and (keys[2] in line or keys[3] in line))
+                        or '"event": "run-end"' in line)]
+        kept.append(json.dumps(
+            {"event": "lease", "action": "grant", "key": keys[2],
+             "lease": "lease-dead", "worker": "w0"}, sort_keys=True))
+        (tmp_path / "run-crashed.jsonl").write_text("\n".join(kept) + "\n")
+
+        state = journal.load("run-crashed")
+        assert set(state.completed) == {keys[0], keys[1]}
+        assert set(state.leased) == {keys[2]}
+
+        recomputed = []
+        real = parallel.compute_cell
+        monkeypatch.setattr(parallel, "compute_cell",
+                            lambda spec: recomputed.append(spec)
+                            or real(spec))
+        resumed = execute_cells(grid, journal=journal, resume="run-crashed")
+        assert {grid.index(spec) for spec in recomputed} == {2, 3}
+        for got, want in zip(resumed, full):
+            assert got.to_dict() == want.to_dict()
+
+
+@pytest.fixture(scope="module")
+def crash_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("crash-journals")
+
+
+class TestCrashSafetyProperty:
+    """Any byte-level crash point leaves a loadable, consistent journal."""
+
+    _ENCODED = None  # computed lazily; encode once for all examples
+
+    @classmethod
+    def _encoded(cls):
+        if cls._ENCODED is None:
+            cls._ENCODED = encode_result(_result())
+        return cls._ENCODED
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_loads_disjoint_state(self, data, crash_dir):
+        events = data.draw(st.lists(st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.sampled_from(["ok", "fail", "grant", "renew", "expire"])),
+            max_size=14))
+        lines = [json.dumps({"event": "run-start", "v": 1, "run_id": "run-x",
+                             "cells": len(KEYS), "keys": KEYS},
+                            sort_keys=True)]
+        for index, kind in events:
+            key = KEYS[index]
+            if kind == "ok":
+                record = {"event": "ok", "key": key, "attempts": 1,
+                          "duration": 0.0, "source": "computed",
+                          "result": self._encoded()}
+            elif kind == "fail":
+                record = {"event": "fail", "key": key, "attempts": 1,
+                          "kind": "worker-lost", "message": "boom"}
+            else:
+                record = {"event": "lease", "action": kind, "key": key,
+                          "lease": "lease-p", "worker": "w0"}
+            lines.append(json.dumps(record, sort_keys=True))
+        text = "\n".join(lines) + "\n"
+        cut = data.draw(st.integers(min_value=0, max_value=len(text)))
+        journal = RunJournal(crash_dir)
+        journal.path_for("run-x").write_text(text[:cut])
+
+        state = journal.load("run-x")  # must never raise
+        # A cell is never both finished and in flight.
+        assert not (set(state.completed) & set(state.leased))
+        assert not (set(state.completed) & set(state.failed))
+        # Completion is exactly the intact ok lines of the surviving
+        # prefix, each restored bit-identically to what was written.
+        surviving_ok = set()
+        for line in text[:cut].splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("event") == "ok":
+                surviving_ok.add(record["key"])
+        assert set(state.completed) == surviving_ok
+        for key in surviving_ok:
+            assert encode_result(state.completed[key]) == self._encoded()

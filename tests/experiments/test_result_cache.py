@@ -17,6 +17,7 @@ from repro.core.stats import PipelineStats
 from repro.experiments.parallel import CellSpec, execute_cells
 from repro.experiments.result_cache import (
     CACHE_DIR_ENV,
+    CacheLock,
     ResultCache,
     cell_key,
     default_cache_dir,
@@ -316,3 +317,82 @@ class TestSourceDigest:
         # The committed tuples must never trip the hard error.
         assert shared_code_salt()
         assert predictor_fingerprint("mascot")["code"]
+
+
+class TestCacheLock:
+    """Lock-file discipline for shared (multi-coordinator) caches."""
+
+    def test_exclusive_while_held(self, tmp_path):
+        lock = CacheLock(tmp_path / "entry.lock")
+        assert lock.acquire()
+        rival = CacheLock(tmp_path / "entry.lock", timeout=0.2)
+        assert not rival.acquire()
+        lock.release()
+        assert rival.acquire()
+        rival.release()
+
+    def test_lock_file_holds_pid_and_is_removed_on_release(self, tmp_path):
+        import os
+
+        path = tmp_path / "entry.lock"
+        with CacheLock(path) as lock:
+            assert lock.acquired
+            assert path.read_text() == str(os.getpid())
+        assert not path.exists()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+
+        path = tmp_path / "entry.lock"
+        path.write_text("99999")
+        old = path.stat().st_mtime - 120.0
+        os.utime(path, (old, old))  # holder died two minutes ago
+        lock = CacheLock(path, timeout=1.0, stale_after=30.0)
+        assert lock.acquire()
+        lock.release()
+
+    def test_timeout_proceeds_unlocked(self, tmp_path):
+        path = tmp_path / "entry.lock"
+        path.write_text("1")  # fresh: never stale-broken within the test
+        lock = CacheLock(path, timeout=0.2, stale_after=300.0)
+        assert not lock.acquire()
+        assert not lock.acquired
+        lock.release()  # no-op, must not unlink the rival's lock
+        assert path.exists()
+
+    def test_unwritable_directory_proceeds_unlocked(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        lock = CacheLock(blocker / "entry.lock", timeout=0.2)
+        assert not lock.acquire()
+
+    def test_store_under_held_lock_counts_timeout_but_lands(self, tmp_path,
+                                                            monkeypatch):
+        result = _sample_accuracy_result()
+        cache = ResultCache(tmp_path)
+        key = cell_key(BASE)
+        monkeypatch.setattr(
+            ResultCache, "_lock_for",
+            lambda self, path: CacheLock(path.with_name(path.name + ".lock"),
+                                         timeout=0.2, stale_after=300.0))
+        rival = cache._lock_for(cache.path_for(key))
+        assert rival.acquire()
+        try:
+            cache.store(key, result)
+        finally:
+            rival.release()
+        # Best-effort: the write proceeded unlocked and was counted.
+        assert cache.lock_timeouts == 1
+        assert cache.load(key) is not None
+
+    def test_probe_lock_clean_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "cache").probe_lock() is None
+
+    def test_probe_lock_detects_non_exclusive_create(self, tmp_path,
+                                                     monkeypatch):
+        # Simulate a filesystem that silently ignores O_EXCL: the second
+        # acquire "succeeds" while the probe still holds the lock.
+        cache = ResultCache(tmp_path / "cache")
+        monkeypatch.setattr(CacheLock, "acquire", lambda self: True)
+        error = cache.probe_lock()
+        assert error is not None and "O_EXCL" in error

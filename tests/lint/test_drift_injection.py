@@ -86,5 +86,39 @@ class TestUnsanctionedWorkerState:
         assert any(f.rule == "conc-mutable-global" for f in result.active)
 
 
+class TestProtocolBoundary:
+    def test_socket_in_worker_path_module_fails_lint(self, tree):
+        # "Phoned home a progress ping from trace generation" -- network
+        # I/O outside the audited frame codec dodges leases, digests and
+        # fault injection.
+        mutate(tree, "trace/generator.py",
+               "def generate_trace(",
+               "import socket\n\n\ndef _ping(host):\n"
+               "    return socket.create_connection((host, 80))\n\n\n"
+               "def generate_trace(")
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        assert any(f.rule == "conc-socket" for f in result.active)
+
+    def test_ad_hoc_file_lock_outside_cache_fails_lint(self, tree):
+        # An ad-hoc O_EXCL lock in the journal would deadlock against
+        # CacheLock's discipline on shared filesystems.
+        mutate(tree, "experiments/journal.py",
+               "def default_journal_dir(",
+               "def _grab(path):\n"
+               "    return os.open(path, os.O_CREAT | os.O_EXCL)\n\n\n"
+               "def default_journal_dir(")
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        assert any(f.rule == "conc-file-lock" for f in result.active)
+
+    def test_sanctioned_modules_stay_clean(self, tree):
+        # backends/worker (sockets) and result_cache (CacheLock) are the
+        # sanctioned homes; the clean copy must not flag them.
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert not any(f.rule in ("conc-socket", "conc-file-lock")
+                       for f in result.active)
+
+
 if __name__ == "__main__":
     raise SystemExit(pytest.main([__file__, "-q"]))
