@@ -33,6 +33,13 @@ can be reproduced without writing Python:
 batched engine produces bit-identical statistics (pinned by the golden
 equivalence test tier) at several times the throughput.
 
+``simulate``, ``compare``, ``accuracy``, ``profile`` and the figure
+commands ``fig7``/``fig8``/``fig9`` accept ``--sampling`` (with
+``--interval-length``, ``--max-k``, ``--warmup-intervals``): only
+SimPoint-style representative regions are simulated and the printed
+statistics are full-run reconstructions carrying confidence intervals
+(see docs/sampling.md).
+
 Fault tolerance: the sweep commands accept ``--cell-timeout``,
 ``--retries``, ``--keep-going`` and ``--resume RUN_ID`` (see
 docs/resilience.md); runs are journaled by default for crash recovery
@@ -158,13 +165,65 @@ def _suite_kwargs(args):
     }
 
 
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    """Sampled-simulation flags shared by simulate/compare/figure/profile."""
+    parser.add_argument(
+        "--sampling", action="store_true",
+        help="simulate only representative regions (SimPoint-style "
+             "selection) and reconstruct full-run statistics with a "
+             "confidence interval (see docs/sampling.md)",
+    )
+    parser.add_argument(
+        "--interval-length", type=_positive_int, default=10_000,
+        metavar="UOPS",
+        help="region length for --sampling (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-k", type=_positive_int, default=6, metavar="K",
+        help="upper bound on representative regions for --sampling; the "
+             "actual count is BIC-selected (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup-intervals", type=_non_negative_int, default=4,
+        metavar="N",
+        help="warmup-prefix length for --sampling, in intervals "
+             "(default: %(default)s)",
+    )
+
+
+def _sampling_arg(args):
+    """Build the SamplingPolicy from the --sampling flag family."""
+    if not getattr(args, "sampling", False):
+        return None
+    from .sampling import SamplingPolicy
+    return SamplingPolicy(
+        interval_length=args.interval_length,
+        max_k=args.max_k,
+        warmup_intervals=args.warmup_intervals,
+    )
+
+
+def _render_sampling_summary(meta: dict) -> str:
+    lo, hi = meta["ci"]
+    return (
+        f"sampled: {meta['metric']} {meta['estimate']:.4f} in "
+        f"[{lo:.4f}, {hi:.4f}] ({meta['confidence']:.0%} CI), "
+        f"k={meta['k']} of {meta['n_intervals']} intervals, "
+        f"coverage {meta['coverage']:.1%}, "
+        f"{meta['simulated_uops']} uops simulated"
+    )
+
+
 _FIGURES = {
     "fig2": lambda args: figures.fig2_smb_opportunities(args.benchmarks, args.uops),
     "fig7": lambda args: figures.fig7_ipc_full(args.benchmarks, args.uops,
+                                               sampling=_sampling_arg(args),
                                                **_suite_kwargs(args)),
     "fig8": lambda args: figures.fig8_mispredictions(args.benchmarks, args.uops,
+                                                     sampling=_sampling_arg(args),
                                                      **_suite_kwargs(args)),
     "fig9": lambda args: figures.fig9_ipc_mdp_only(args.benchmarks, args.uops,
+                                                   sampling=_sampling_arg(args),
                                                    **_suite_kwargs(args)),
     "fig10": lambda args: figures.fig10_prediction_mix(args.benchmarks, args.uops,
                                                        **_suite_kwargs(args)),
@@ -303,6 +362,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=TIMING_ENGINES, default="scalar",
         help="timing engine; 'batched' is bit-identical and faster",
     )
+    _add_sampling_args(simulate)
 
     compare = sub.add_parser("compare", help="normalised-IPC sweep")
     compare.add_argument(
@@ -315,16 +375,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=TIMING_ENGINES, default="scalar",
         help="timing engine; 'batched' is bit-identical and faster",
     )
+    _add_sampling_args(compare)
 
     accuracy = sub.add_parser("accuracy", help="prediction-only error sweep")
     accuracy.add_argument(
         "predictors", nargs="+", choices=sorted(PREDICTOR_FACTORIES),
     )
     _add_common(accuracy)
+    _add_sampling_args(accuracy)
 
     figure = sub.add_parser("figure", help="regenerate a paper table/figure")
     figure.add_argument("name", choices=sorted(_FIGURES))
     _add_common(figure)
+    _add_sampling_args(figure)
 
     sub.add_parser("sizes", help="print Table II")
 
@@ -365,6 +428,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the report as JSON instead of tables",
     )
+    _add_sampling_args(profile)
 
     lint = sub.add_parser(
         "lint",
@@ -397,6 +461,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed relative speedup regression under --check "
              "(default: %(default)s)",
     )
+    bench.add_argument(
+        "--skip-sampled", action="store_true",
+        help="skip the sampled long-trace cell (minutes of full-trace "
+             "simulation); engine cells only",
+    )
+
+    budget = sub.add_parser(
+        "error-budget",
+        help="run a benchmark grid sampled and full; fail when the "
+             "geomean IPC reconstruction error exceeds the budget or a "
+             "CI misses the full-run value (see docs/sampling.md)",
+    )
+    from .experiments.error_budget import ERROR_BUDGET_BENCHMARKS
+    budget.add_argument(
+        "--benchmarks", nargs="+", choices=suite_names(),
+        default=list(ERROR_BUDGET_BENCHMARKS), metavar="BENCH",
+        help="benchmarks to grid (default: the validated tier-1 subset)",
+    )
+    budget.add_argument(
+        "--uops", type=_positive_int, default=2_000_000,
+        help="trace length per cell (default: %(default)s)",
+    )
+    budget.add_argument("--predictor", default="mascot",
+                        choices=sorted(PREDICTOR_FACTORIES))
+    budget.add_argument("--engine", choices=TIMING_ENGINES,
+                        default="batched",
+                        help="timing engine for both sides "
+                             "(default: %(default)s)")
+    budget.add_argument(
+        "--interval-length", type=_positive_int, default=None,
+        help="override the sampling policy's region length",
+    )
+    budget.add_argument(
+        "--max-k", type=_positive_int, default=6,
+        help="cluster bound when --interval-length is given "
+             "(default: %(default)s)",
+    )
+    budget.add_argument(
+        "--warmup-intervals", type=_non_negative_int, default=4,
+        help="warmup intervals when --interval-length is given "
+             "(default: %(default)s)",
+    )
+    budget.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
 
     doctor = sub.add_parser(
         "doctor",
@@ -433,33 +541,73 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args) -> int:
     trace = default_cache().get(args.benchmark, args.uops)
-    stats = run_timing(trace, make_predictor(args.predictor),
-                       config=_CORES[args.core], engine=args.engine)
+    policy = _sampling_arg(args)
+    if policy is not None:
+        stats = run_timing(
+            trace, None, config=_CORES[args.core], engine=args.engine,
+            sampling=policy,
+            predictor_factory=lambda: make_predictor(args.predictor),
+        )
+    else:
+        stats = run_timing(trace, make_predictor(args.predictor),
+                           config=_CORES[args.core], engine=args.engine)
     rows = sorted(stats.as_dict().items())
     print(render_table(["metric", "value"], rows,
                        title=f"{args.benchmark} / {args.predictor} "
                              f"on {args.core}"))
+    if getattr(stats, "sampling", None) is not None:
+        print(_render_sampling_summary(stats.sampling))
     return 0
 
 
 def _cmd_compare(args) -> int:
+    policy = _sampling_arg(args)
     suite = run_ipc_suite(args.predictors, args.benchmarks, args.uops,
                           config=_CORES[args.core], engine=args.engine,
-                          **_suite_kwargs(args))
+                          sampling=policy, **_suite_kwargs(args))
     benches = suite.benchmarks or list(next(iter(suite.ipc.values())))
     normalised = {p: suite.normalised(p) for p in args.predictors}
+
+    def relative_ci(predictor, bench):
+        meta = getattr(suite.stats.get(predictor, {}).get(bench), "sampling",
+                       None)
+        if meta is None or float(meta.get("estimate") or 0.0) <= 0.0:
+            return None
+        lo, hi = meta["ci"]
+        return (float(hi) - float(lo)) / 2.0 / float(meta["estimate"])
+
+    def cell(predictor, bench):
+        if bench not in normalised[predictor]:
+            return "FAIL"
+        value = normalised[predictor][bench]
+        rel = relative_ci(predictor, bench)
+        rel_base = relative_ci(suite.baseline, bench)
+        if rel is None or rel_base is None:
+            return f"{value:.4f}"
+        # First-order CI of a ratio: relative half-widths add.
+        return f"{value:.4f}+-{value * (rel + rel_base):.4f}"
+
     rows = []
     for bench in benches:
-        rows.append([bench] + [
-            (f"{normalised[p][bench]:.4f}" if bench in normalised[p]
-             else "FAIL")
-            for p in args.predictors
-        ])
+        rows.append([bench]
+                    + [cell(p, bench) for p in args.predictors])
     rows.append(["geomean"] + [
         f"{suite.geomean(p):.4f}" for p in args.predictors
     ])
     print(render_table(["benchmark", *args.predictors], rows,
                        title="IPC normalised to perfect MDP"))
+    if policy is not None:
+        sampled = next(
+            (meta for p in args.predictors for bench in benches
+             if (meta := getattr(suite.stats.get(p, {}).get(bench),
+                                 "sampling", None)) is not None),
+            None)
+        if sampled is not None:
+            print(f"sampled cells: interval_length="
+                  f"{sampled['policy']['interval_length']}, "
+                  f"max_k={sampled['policy']['max_k']}, "
+                  f"{sampled['confidence']:.0%} CIs; values are "
+                  f"reconstructions (docs/sampling.md)")
     if suite.failures:
         for name, per_bench in sorted(suite.failures.items()):
             for failure in per_bench.values():
@@ -470,6 +618,7 @@ def _cmd_compare(args) -> int:
 
 def _cmd_accuracy(args) -> int:
     results = run_accuracy_suite(args.predictors, args.benchmarks, args.uops,
+                                 sampling=_sampling_arg(args),
                                  **_suite_kwargs(args))
     rows = []
     failures = []
@@ -496,7 +645,15 @@ def _cmd_accuracy(args) -> int:
     return 0
 
 
+_SAMPLED_FIGURES = frozenset({"fig7", "fig8", "fig9"})
+
+
 def _cmd_figure(args) -> int:
+    if args.sampling and args.name not in _SAMPLED_FIGURES:
+        print(f"repro figure: --sampling is only supported for "
+              f"{', '.join(sorted(_SAMPLED_FIGURES))} (got {args.name})",
+              file=sys.stderr)
+        return 2
     result = _FIGURES[args.name](args)
     print(result.render())
     failures = list(getattr(result, "failures", None) or [])
@@ -518,9 +675,15 @@ def _cmd_profile(args) -> int:
             return 2
         return _print_metrics_summary(args.metrics_file)
 
+    policy = _sampling_arg(args)
+    if policy is not None and args.measure_from is not None:
+        print("repro profile: --measure-from and --sampling are mutually "
+              "exclusive (sampled warmup is per-region)", file=sys.stderr)
+        return 2
     report = profile_cell(args.benchmark, args.predictor, args.uops,
                           config=_CORES[args.core],
-                          measure_from=args.measure_from)
+                          measure_from=args.measure_from,
+                          sampling=policy)
     try:
         report.validate()
     except CycleAccountingError as error:
@@ -547,15 +710,23 @@ def _print_metrics_summary(path: str) -> int:
 
 def _cmd_bench_baseline(args) -> int:
     from .experiments.bench_baseline import (
+        DEFAULT_SAMPLED_CELLS,
         check_against_baseline,
         load_baseline,
         run_baseline,
         write_baseline,
     )
 
+    sampled_cells = () if args.skip_sampled else DEFAULT_SAMPLED_CELLS
     print(f"measuring engine throughput (best of {args.repeats}):")
-    current = run_baseline(repeats=args.repeats, verbose=True)
+    current = run_baseline(repeats=args.repeats, verbose=True,
+                           sampled_cells=sampled_cells)
     if not args.check:
+        if args.skip_sampled:
+            print("repro bench-baseline: refusing to write a baseline "
+                  "without the sampled cell (--skip-sampled is for "
+                  "--check runs)", file=sys.stderr)
+            return 2
         path = write_baseline(current, Path(args.output))
         print(f"wrote {path}")
         return 0
@@ -573,6 +744,37 @@ def _cmd_bench_baseline(args) -> int:
         return 1
     print(f"all cells within {args.tolerance:.0%} of the committed speedups")
     return 0
+
+
+def _cmd_error_budget(args) -> int:
+    from .experiments.error_budget import (
+        check_error_budget,
+        render_error_budget,
+        run_error_budget,
+    )
+
+    policy = None
+    if args.interval_length is not None:
+        from .sampling import SamplingPolicy
+        policy = SamplingPolicy(interval_length=args.interval_length,
+                                max_k=args.max_k,
+                                warmup_intervals=args.warmup_intervals)
+    if not args.json:
+        print(f"measuring sampled reconstruction error "
+              f"({args.uops:,} uops per cell):", flush=True)
+    report = run_error_budget(
+        benchmarks=tuple(args.benchmarks), num_uops=args.uops,
+        predictor=args.predictor, policy=policy, engine=args.engine,
+        verbose=not args.json)
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_error_budget(report))
+    violations = check_error_budget(report)
+    for violation in violations:
+        print(f"BUDGET {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _cmd_gen_trace(args) -> int:
@@ -619,6 +821,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench-baseline":
         return _cmd_bench_baseline(args)
+    if args.command == "error-budget":
+        return _cmd_error_budget(args)
     if args.command == "gen-trace":
         return _cmd_gen_trace(args)
     if args.command == "validate":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..analysis.accuracy import AccuracyStats
 
@@ -39,6 +39,12 @@ class PipelineStats:
     load_consumers: int = 0
 
     accuracy: AccuracyStats = field(default_factory=AccuracyStats)
+
+    #: Sampled-reconstruction metadata (policy, selection digest, coverage,
+    #: confidence interval — see :mod:`repro.sampling.reconstruct`); None
+    #: for full-trace runs.  When set, every counter above is a full-run
+    #: *estimate* scaled from the measured regions.
+    sampling: Optional[Dict[str, object]] = None
 
     @property
     def ipc(self) -> float:
@@ -100,6 +106,8 @@ class PipelineStats:
             name: getattr(self, name) for name in self._COUNTER_FIELDS
         }
         data["accuracy"] = self.accuracy.to_dict()
+        if self.sampling is not None:
+            data["sampling"] = self.sampling
         return data
 
     @classmethod
@@ -107,4 +115,6 @@ class PipelineStats:
         stats = cls(**{name: int(data[name])
                        for name in cls._COUNTER_FIELDS})
         stats.accuracy = AccuracyStats.from_dict(data["accuracy"])
+        sampling = data.get("sampling")
+        stats.sampling = dict(sampling) if sampling is not None else None
         return stats

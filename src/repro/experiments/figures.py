@@ -20,6 +20,7 @@ from ..common.statistics import Histogram, geometric_mean
 from ..core.config import GOLDEN_COVE, LION_COVE, CoreConfig
 from ..predictors.configs import MASCOT_DEFAULT, MASCOT_OPT, mascot_opt_reduced_tags
 from ..predictors.sizing import PredictorSizing, table2_rows
+from ..sampling.policy import SamplingPolicy
 from ..trace.profiles import suite_names
 from ..trace.uop import BypassClass
 from .parallel import (
@@ -82,6 +83,19 @@ def _failure_note(failures: Sequence[CellFailure]) -> str:
              "the aggregates above:"]
     lines += [f"  FAILED {failure.describe()}" for failure in failures]
     return "\n".join(lines) + "\n"
+
+
+def _sampling_note(meta: Dict) -> str:
+    """Footer describing how a sampled figure's values were produced."""
+    policy = meta.get("policy", {})
+    return (
+        f"sampled simulation: interval={policy.get('interval_length')} "
+        f"uops, k<={policy.get('max_k')}, "
+        f"warmup={policy.get('warmup_intervals')} interval(s); values are "
+        f"reconstructions; +- denotes the "
+        f"{100 * float(meta.get('confidence', 0)):.0f}% confidence "
+        "half-width\n"
+    )
 
 
 _SMB_BUCKETS = ("DirectBypass", "NoOffset", "Offset", "MDP Only")
@@ -207,26 +221,57 @@ class IpcFigureResult:
     def geomean(self, predictor: str) -> float:
         return self.suite.geomean(predictor)
 
+    def sampling_metadata(self, predictor: str, bench: str) -> Optional[Dict]:
+        """Reconstruction metadata of one cell; None for full-trace runs."""
+        stats = self.suite.stats.get(predictor, {}).get(bench)
+        return getattr(stats, "sampling", None)
+
+    def _relative_ci(self, predictor: str, bench: str) -> Optional[float]:
+        """Relative CI half-width of one cell's reconstructed IPC."""
+        meta = self.sampling_metadata(predictor, bench)
+        if meta is None:
+            return None
+        lo, hi = meta["ci"]
+        estimate = float(meta.get("estimate") or 0.0)
+        if estimate <= 0.0:
+            return None
+        return (float(hi) - float(lo)) / 2.0 / estimate
+
     def render(self) -> str:
         # Prefer the requested benchmark order (present even when cells
         # failed); fall back to the grid keys for pre-resilience results.
         benches = self.suite.benchmarks or list(
             next(iter(self.suite.ipc.values())).keys())
         normalised = {p: self.suite.normalised(p) for p in self.predictors}
+        sampled_meta: Optional[Dict] = None
         rows = []
         for bench in benches:
             row = [bench]
             for predictor in self.predictors:
                 value = normalised[predictor].get(bench)
-                row.append("FAIL" if value is None else f"{value:.4f}")
+                if value is None:
+                    row.append("FAIL")
+                    continue
+                # Normalised cells divide two reconstructed IPCs; their
+                # relative half-widths add (first-order, conservative).
+                rel = self._relative_ci(predictor, bench)
+                rel_base = self._relative_ci(self.suite.baseline, bench)
+                if rel is None or rel_base is None:
+                    row.append(f"{value:.4f}")
+                else:
+                    sampled_meta = self.sampling_metadata(predictor, bench)
+                    row.append(f"{value:.4f}+-{value * (rel + rel_base):.4f}")
             rows.append(row)
         geo = ["geomean"] + [
             f"{self.suite.geomean(p):.4f}" for p in self.predictors
         ]
         rows.append(geo)
-        return render_table(
+        table = render_table(
             ["benchmark", *self.predictors], rows, title=self.title,
         )
+        if sampled_meta is not None:
+            table += _sampling_note(sampled_meta)
+        return table
 
 
 def fig7_ipc_full(
@@ -239,13 +284,21 @@ def fig7_ipc_full(
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
     backend: BackendSpec = None,
+    engine: str = "scalar",
+    sampling: Optional[SamplingPolicy] = None,
 ) -> IpcFigureResult:
-    """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP."""
+    """NoSQ vs PHAST vs MASCOT (MDP+SMB), normalised to perfect MDP.
+
+    ``sampling`` runs every cell sampled; the rendered table then carries
+    per-cell confidence half-widths and a methodology footer (the values
+    are reconstructions, not full replays).
+    """
     predictors = ["nosq", "phast", "mascot"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
                           journal=journal, resume=resume,
-                          metrics=metrics, backend=backend)
+                          metrics=metrics, backend=backend,
+                          engine=engine, sampling=sampling)
     return IpcFigureResult(
         title="Fig. 7 — IPC normalised to perfect MDP (no SMB)",
         suite=suite, predictors=predictors,
@@ -262,13 +315,16 @@ def fig9_ipc_mdp_only(
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
     backend: BackendSpec = None,
+    engine: str = "scalar",
+    sampling: Optional[SamplingPolicy] = None,
 ) -> IpcFigureResult:
     """Store Sets vs PHAST vs MDP-only MASCOT, normalised to perfect MDP."""
     predictors = ["store-sets", "phast", "mascot-mdp"]
     suite = run_ipc_suite(predictors, benchmarks, num_uops,
                           jobs=jobs, cache=cache, policy=policy,
                           journal=journal, resume=resume,
-                          metrics=metrics, backend=backend)
+                          metrics=metrics, backend=backend,
+                          engine=engine, sampling=sampling)
     return IpcFigureResult(
         title="Fig. 9 — MDP-only IPC normalised to perfect MDP",
         suite=suite, predictors=predictors,
@@ -286,6 +342,9 @@ class Fig8Result:
     speculative_errors: Dict[str, int]
     #: Cells excluded from the totals (--keep-going partial grids).
     failures: List[CellFailure] = field(default_factory=list)
+    #: Reconstruction metadata of one sampled cell (None for full runs);
+    #: its presence means every count above is a scaled estimate.
+    sampling: Optional[Dict] = None
 
     def reduction_vs(self, predictor: str, other: str) -> float:
         """Percent reduction in total mispredictions of predictor vs other."""
@@ -299,12 +358,15 @@ class Fig8Result:
              self.speculative_errors[name]]
             for name in self.totals
         ]
-        return render_table(
+        table = render_table(
             ["predictor", "total mispredictions", "false dependencies",
              "speculative errors"],
             rows,
             title="Fig. 8 — mispredictions across all benchmarks",
         ) + _failure_note(self.failures)
+        if self.sampling is not None:
+            table += _sampling_note(self.sampling)
+        return table
 
 
 def fig8_mispredictions(
@@ -318,27 +380,33 @@ def fig8_mispredictions(
     resume: ResumeSpec = None,
     metrics: MetricsSpec = None,
     backend: BackendSpec = None,
+    sampling: Optional[SamplingPolicy] = None,
 ) -> Fig8Result:
     """Total mispredictions and the false-dep/speculative split (Fig. 8)."""
     results = run_accuracy_suite(list(predictors), benchmarks, num_uops,
                                  jobs=jobs, cache=cache, policy=policy,
                                  journal=journal, resume=resume,
-                                 metrics=metrics, backend=backend)
+                                 metrics=metrics, backend=backend,
+                                 sampling=sampling)
     totals: Dict[str, int] = {}
     false_deps: Dict[str, int] = {}
     spec_errors: Dict[str, int] = {}
+    sampled_meta: Optional[Dict] = None
     for name, per_bench in results.items():
         merged = AccuracyStats()
         for run in per_bench.values():
             if isinstance(run, CellFailure):
                 continue
             merged.merge(run.accuracy)
+            if run.sampling is not None:
+                sampled_meta = run.sampling
         totals[name] = merged.mispredictions
         false_deps[name] = merged.false_dependencies
         spec_errors[name] = merged.speculative_errors
     return Fig8Result(totals=totals, false_dependencies=false_deps,
                       speculative_errors=spec_errors,
-                      failures=_accuracy_failures(results))
+                      failures=_accuracy_failures(results),
+                      sampling=sampled_meta)
 
 
 # -------------------------------------------------------------------- Fig. 10

@@ -89,7 +89,7 @@ _PACKAGE_ROOT = Path(__file__).resolve().parent.parent
 #: salted per predictor by :func:`predictor_fingerprint` so editing one
 #: predictor module leaves other predictors' cells valid.
 _SHARED_SOURCES = (
-    "trace", "core", "memory", "branch", "analysis", "common",
+    "trace", "core", "memory", "branch", "analysis", "common", "sampling",
     "experiments/runner.py",
     # Telemetry counters flow into cached PredictionRunResults, so their
     # semantics are part of the result; the rest of repro.obs (cycle
@@ -469,6 +469,15 @@ def cell_key(spec) -> str:
             "track_f1": spec.track_f1,
             "telemetry": spec.telemetry,
             "engine": getattr(spec, "engine", "scalar"),
+            # Sampled cells are keyed by the full policy: any knob change
+            # (interval length, k bound, warmup, seed, CI parameters)
+            # selects different regions or reconstructs differently, so it
+            # must be a different cell.  The *outcome* digest of the
+            # selection lives in the result's sampling metadata — the
+            # coordinator keying a cell may not have generated the trace.
+            "sampling": (spec.sampling.to_dict()
+                         if getattr(spec, "sampling", None) is not None
+                         else None),
         },
         "predictor": predictor_fingerprint(spec.predictor),
         "core": asdict(core) if core is not None else None,

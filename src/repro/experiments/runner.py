@@ -25,6 +25,7 @@ from ..core.pipeline import Pipeline
 from ..core.stats import PipelineStats
 from ..predictors.base import ActualOutcome, MDPredictor
 from ..predictors.mascot import Mascot
+from ..sampling.policy import SamplingPolicy
 from ..trace.generator import generate_trace
 from ..trace.uop import MicroOp, OpClass
 
@@ -98,23 +99,32 @@ class PredictionRunResult:
     #: Per-table telemetry counters (``TableTelemetry.to_dict``) when the
     #: run was made with ``telemetry=True``; None otherwise.
     telemetry: Optional[dict] = None
+    #: Sampled-reconstruction metadata (see
+    #: :mod:`repro.sampling.reconstruct`); None for full-trace runs.  When
+    #: set, the accuracy counts are full-run estimates scaled from the
+    #: measured regions.
+    sampling: Optional[dict] = None
 
     # -- serialisation (on-disk result cache) ----------------------------------
 
     def to_dict(self) -> dict:
         """JSON-serialisable form; inverse of :meth:`from_dict`."""
-        return {
+        data = {
             "accuracy": self.accuracy.to_dict(),
             "predictions_per_table": list(self.predictions_per_table),
             "f1_profile": (self.f1_profile.to_dict()
                            if self.f1_profile is not None else None),
             "telemetry": self.telemetry,
         }
+        if self.sampling is not None:
+            data["sampling"] = self.sampling
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PredictionRunResult":
         profile = data.get("f1_profile")
         telemetry = data.get("telemetry")
+        sampling = data.get("sampling")
         return cls(
             accuracy=AccuracyStats.from_dict(data["accuracy"]),
             predictions_per_table=[int(c)
@@ -122,15 +132,18 @@ class PredictionRunResult:
             f1_profile=(RankedF1Profile.from_dict(profile)
                         if profile is not None else None),
             telemetry=dict(telemetry) if telemetry is not None else None,
+            sampling=dict(sampling) if sampling is not None else None,
         )
 
 
 def run_prediction_only(
     trace: Sequence[MicroOp],
-    predictor: MDPredictor,
+    predictor: Optional[MDPredictor],
     f1_period: Optional[int] = None,
     warmup: int = 0,
     telemetry: bool = False,
+    sampling: Optional[SamplingPolicy] = None,
+    predictor_factory: Optional[Callable[[], MDPredictor]] = None,
 ) -> PredictionRunResult:
     """Replay ``trace`` through ``predictor`` and classify every load.
 
@@ -142,7 +155,30 @@ def run_prediction_only(
     ``telemetry`` attaches a :class:`~repro.obs.telemetry.TableTelemetry`
     sink to the predictor for the duration of the run; the counters are
     returned in :attr:`PredictionRunResult.telemetry`.
+
+    ``sampling`` switches to sampled replay of the policy's selected
+    regions with full-run reconstruction (see
+    :func:`repro.sampling.reconstruct.run_sampled_prediction`); it
+    requires ``predictor_factory`` (fresh predictor per region, with
+    ``predictor`` passed as None) and is incompatible with ``warmup`` /
+    ``f1_period`` / ``telemetry``, which describe one contiguous run.
     """
+    if sampling is not None:
+        if predictor_factory is None:
+            raise ValueError(
+                "sampled prediction runs need predictor_factory: each "
+                "region is measured with a fresh predictor"
+            )
+        if warmup or f1_period is not None or telemetry:
+            raise ValueError(
+                "sampling is incompatible with warmup, f1_period and "
+                "telemetry: those describe one contiguous replay"
+            )
+        from ..sampling.reconstruct import run_sampled_prediction
+
+        return run_sampled_prediction(trace, predictor_factory, sampling)
+    if predictor is None:
+        raise ValueError("full-trace runs need a predictor instance")
     recorder: Optional[F1Recorder] = None
     if f1_period is not None:
         if not isinstance(predictor, Mascot):
@@ -241,22 +277,60 @@ TIMING_ENGINES = ("scalar", "batched")
 
 def run_timing(
     trace: Sequence[MicroOp],
-    predictor: MDPredictor,
+    predictor: Optional[MDPredictor],
     config: CoreConfig = GOLDEN_COVE,
     engine: str = "scalar",
+    measure_from: int = 0,
+    sampling: Optional[SamplingPolicy] = None,
+    predictor_factory: Optional[Callable[[], MDPredictor]] = None,
+    hierarchy=None,
 ) -> PipelineStats:
     """Run the out-of-order timing model; returns its statistics.
 
     ``engine`` selects the implementation: ``"scalar"`` (the reference
     :class:`~repro.core.pipeline.Pipeline`) or ``"batched"`` (the
     bit-identical :class:`~repro.core.batched.BatchedPipeline`).
+    ``measure_from`` designates a warmup prefix excluded from measurement.
+    ``hierarchy`` supplies a pre-built (possibly pre-warmed)
+    :class:`~repro.memory.hierarchy.MemoryHierarchy` instead of the cold
+    default — sampled runs use it for functional cache warmup.
+
+    ``sampling`` switches to sampled simulation: only the policy's
+    selected regions are simulated and the returned statistics are a
+    full-run reconstruction carrying ``stats.sampling`` metadata (see
+    :mod:`repro.sampling.reconstruct`).  Sampled runs need a fresh
+    predictor per region, so ``predictor_factory`` is required (and
+    ``predictor`` ignored — pass None).
     """
     if engine not in TIMING_ENGINES:
         raise ValueError(
             f"unknown timing engine {engine!r}; known: "
             + ", ".join(TIMING_ENGINES)
         )
+    if sampling is not None:
+        if predictor_factory is None:
+            raise ValueError(
+                "sampled timing runs need predictor_factory: each region "
+                "is measured with a fresh predictor"
+            )
+        if measure_from:
+            raise ValueError(
+                "measure_from and sampling are mutually exclusive: warmup "
+                "of sampled runs is governed by the policy's "
+                "warmup_intervals"
+            )
+        from ..sampling.reconstruct import run_sampled_timing
+
+        return run_sampled_timing(
+            trace, predictor_factory, sampling,
+            config=config, engine=engine,
+        ).stats
+    if predictor is None:
+        raise ValueError("full-trace runs need a predictor instance")
     if engine == "batched":
         from ..core.batched import BatchedPipeline
-        return BatchedPipeline(predictor, config=config).run(trace)
-    return Pipeline(predictor, config=config).run(trace)
+        return BatchedPipeline(predictor, config=config,
+                               hierarchy=hierarchy).run(
+            trace, measure_from=measure_from)
+    return Pipeline(predictor, config=config, hierarchy=hierarchy).run(
+        trace, measure_from=measure_from)

@@ -26,6 +26,7 @@ from ..predictors.perfect import PerfectMDP, PerfectMDPSMB
 from ..predictors.phast import Phast
 from ..predictors.store_sets import StoreSets
 from ..predictors.tage_nond import TAGE_NO_ND_CONFIG
+from ..sampling.policy import SamplingPolicy
 from ..trace.profiles import suite_names
 from .parallel import (
     BackendSpec,
@@ -152,6 +153,7 @@ def run_ipc_suite(
     metrics: MetricsSpec = None,
     backend: BackendSpec = None,
     engine: str = "scalar",
+    sampling: Optional[SamplingPolicy] = None,
 ) -> IpcSuiteResult:
     """Timing-mode sweep; the baseline is added automatically if missing.
 
@@ -165,6 +167,13 @@ def run_ipc_suite(
     bit-identical for every ``jobs`` value and cache state — and, by the
     golden equivalence tier, for either ``engine`` (``"scalar"`` reference
     pipeline or the faster ``"batched"`` engine).
+
+    ``sampling`` runs every cell sampled under the given policy: only the
+    selected regions are simulated and each cell's stats carry
+    reconstruction metadata with confidence intervals (see
+    :mod:`repro.sampling`).  Reconstructed values are estimates — the
+    suite is no longer bit-identical to the full-trace sweep, which is
+    the point.
     """
     names = list(predictors)
     if baseline not in names:
@@ -175,7 +184,7 @@ def run_ipc_suite(
         CellSpec(mode="timing", benchmark=bench, num_uops=num_uops,
                  predictor=name, config=config,
                  store_window=config.sb_size, instr_window=config.rob_size,
-                 engine=engine)
+                 engine=engine, sampling=sampling)
         for bench in benchmarks for name in names
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,
@@ -218,6 +227,7 @@ def run_accuracy_suite(
     metrics: MetricsSpec = None,
     backend: BackendSpec = None,
     telemetry: bool = False,
+    sampling: Optional[SamplingPolicy] = None,
 ) -> Dict[str, Dict[str, PredictionRunResult]]:
     """Prediction-only sweep: results[predictor][benchmark].
 
@@ -232,15 +242,25 @@ def run_accuracy_suite(
     counters come back in each result's ``telemetry`` dict.  ``metrics``
     streams per-cell execution records as JSONL (see
     :data:`~repro.experiments.parallel.MetricsSpec`).
+
+    ``sampling`` replays only the policy's selected regions per cell and
+    scales the accuracy counts back to the full trace (incompatible with
+    ``warmup`` and ``telemetry``; warmup of sampled runs comes from the
+    policy's ``warmup_intervals``).
     """
-    if warmup is None:
+    if sampling is not None:
+        if telemetry:
+            raise ValueError("sampling is incompatible with telemetry")
+        warmup = 0
+    elif warmup is None:
         warmup = num_uops // 4
     benchmarks = list(benchmarks) if benchmarks is not None else suite_names()
 
     names = list(predictors)
     cells = [
         CellSpec(mode="accuracy", benchmark=bench, num_uops=num_uops,
-                 predictor=name, warmup=warmup, telemetry=telemetry)
+                 predictor=name, warmup=warmup, telemetry=telemetry,
+                 sampling=sampling)
         for bench in benchmarks for name in names
     ]
     cell_results = execute_cells(cells, jobs=jobs, cache=cache,

@@ -4,6 +4,12 @@ from .cache import Cache, CacheStats
 from .hierarchy import HierarchyConfig, MemoryHierarchy
 from .mshr import MSHRFile
 from .prefetch import IPStridePrefetcher, StrideEntry
+from .warmup import (
+    WarmupIndex,
+    memory_access_stream,
+    preload_cache,
+    warm_hierarchy,
+)
 
 __all__ = [
     "Cache",
@@ -13,4 +19,8 @@ __all__ = [
     "MSHRFile",
     "IPStridePrefetcher",
     "StrideEntry",
+    "WarmupIndex",
+    "memory_access_stream",
+    "preload_cache",
+    "warm_hierarchy",
 ]

@@ -150,6 +150,22 @@ class Cache:
             self.stats.prefetch_fills += 1
         return evicted
 
+    def preload(self, set_index: int, lines: List[int]) -> None:
+        """Install one set's content as pre-existing state (LRU first).
+
+        Used by functional warmup (:mod:`repro.memory.warmup`) to place a
+        reconstructed steady state without paying per-access replay; the
+        fill bypasses the stats counters, exactly like state inherited
+        from before a measurement window.
+        """
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError(f"{self.name}: set {set_index} out of range")
+        if len(lines) > self.ways:
+            raise ValueError(
+                f"{self.name}: {len(lines)} lines exceed {self.ways} ways"
+            )
+        self._sets[set_index] = list(lines)
+
     def reset(self) -> None:
         self._sets.clear()
         self.stats = CacheStats()

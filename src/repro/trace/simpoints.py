@@ -32,6 +32,7 @@ __all__ = [
     "SimPoint",
     "split_intervals",
     "basic_block_vectors",
+    "kmeans_labels",
     "select_simpoints",
     "rebase_interval",
     "estimate_weighted",
@@ -88,9 +89,40 @@ def basic_block_vectors(trace: Sequence[MicroOp],
     return vectors / sums
 
 
-def _kmeans(vectors: np.ndarray, k: int, seed: int,
-            iterations: int = 50) -> np.ndarray:
-    """Plain Lloyd's k-means with k-means++ seeding; returns labels."""
+def _reseed_empty_clusters(vectors: np.ndarray, centers: np.ndarray,
+                           labels: np.ndarray, k: int) -> np.ndarray:
+    """Give every empty cluster a fresh centroid; returns updated labels.
+
+    A cluster that empties during Lloyd iterations would otherwise keep a
+    stale centroid — and, worse, ``select_simpoints`` would silently
+    return fewer than k representatives.  Each empty cluster is re-seeded
+    on the point farthest from its current centroid (the classic
+    farthest-point repair), which is deterministic: ``argmax`` breaks
+    ties on the lowest index.  As long as the data has at least k
+    distinct rows, some assigned point sits strictly away from its
+    centroid, so the repair always finds a non-degenerate seed.
+    """
+    for j in range(k):
+        if np.any(labels == j):
+            continue
+        distances = ((vectors - centers[labels]) ** 2).sum(axis=1)
+        farthest = int(np.argmax(distances))
+        if distances[farthest] <= 0.0:
+            continue  # fewer than k distinct points: nothing to steal
+        centers[j] = vectors[farthest]
+        labels[farthest] = j
+    return labels
+
+
+def kmeans_labels(vectors: np.ndarray, k: int, seed: int,
+                  iterations: int = 50) -> np.ndarray:
+    """Lloyd's k-means with k-means++ seeding; returns labels.
+
+    Deterministic for a given ``(vectors, k, seed)``; empty clusters are
+    re-seeded from the farthest point (see
+    :func:`_reseed_empty_clusters`), so with at least k distinct rows
+    every one of the k labels survives to the result.
+    """
     rng = np.random.default_rng(seed)
     n = vectors.shape[0]
     # k-means++ seeding.
@@ -112,6 +144,7 @@ def _kmeans(vectors: np.ndarray, k: int, seed: int,
             axis=2
         )
         new_labels = distances.argmin(axis=1)
+        new_labels = _reseed_empty_clusters(vectors, centers, new_labels, k)
         if np.array_equal(new_labels, labels):
             break
         labels = new_labels
@@ -120,6 +153,10 @@ def _kmeans(vectors: np.ndarray, k: int, seed: int,
             if len(members):
                 centers[j] = members.mean(axis=0)
     return labels
+
+
+#: Backwards-compatible alias (the fixed implementation).
+_kmeans = kmeans_labels
 
 
 def select_simpoints(
@@ -142,7 +179,7 @@ def select_simpoints(
         )
     vectors = basic_block_vectors(trace, intervals)
     k = min(max_k, len(intervals))
-    labels = _kmeans(vectors, k, seed)
+    labels = kmeans_labels(vectors, k, seed)
 
     simpoints: List[SimPoint] = []
     for j in range(k):
@@ -165,31 +202,39 @@ def select_simpoints(
 
 
 def rebase_interval(trace: Sequence[MicroOp],
-                    interval: Interval) -> List[MicroOp]:
+                    interval: Interval,
+                    offset: int = 0) -> List[MicroOp]:
     """Extract an interval as a standalone trace.
 
-    Sequence numbers are renumbered from 0 and all dataflow / dependence
-    references to micro-ops before the interval are dropped — exactly the
-    state a simulation warmed only within the slice would observe (values
-    from before the slice are architectural state, not in-flight
-    producers).
+    Sequence numbers are renumbered from ``offset`` (0 by default) and all
+    dataflow / dependence references to micro-ops before the interval are
+    dropped — exactly the state a simulation warmed only within the slice
+    would observe (values from before the slice are architectural state,
+    not in-flight producers).  A non-zero ``offset`` places the slice
+    after ``offset`` other micro-ops, so rebased slices can be stitched
+    into one replay trace (e.g. a shared warmup prefix followed by a
+    sampled region); in-slice references stay in-slice — they never reach
+    into whatever precedes the offset.
     """
     from .uop import BypassClass
 
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
     start = interval.start
+    delta = offset - start
     out: List[MicroOp] = []
     for seq in range(interval.start, interval.end):
         uop = trace[seq]
-        srcs = tuple(s - start for s in uop.srcs if s >= start)
+        srcs = tuple(s + delta for s in uop.srcs if s >= start)
         addr_src = (
-            uop.addr_src - start
+            uop.addr_src + delta
             if uop.addr_src is not None and uop.addr_src >= start else None
         )
         in_slice_dep = (
             uop.dep_store_seq is not None and uop.dep_store_seq >= start
         )
         out.append(MicroOp(
-            seq=uop.seq - start,
+            seq=uop.seq + delta,
             pc=uop.pc,
             op=uop.op,
             srcs=srcs,
@@ -199,7 +244,7 @@ def rebase_interval(trace: Sequence[MicroOp],
             address=uop.address,
             size=uop.size,
             store_distance=uop.store_distance if in_slice_dep else 0,
-            dep_store_seq=(uop.dep_store_seq - start) if in_slice_dep
+            dep_store_seq=(uop.dep_store_seq + delta) if in_slice_dep
             else None,
             bypass=uop.bypass if in_slice_dep else BypassClass.NONE,
         ))

@@ -74,6 +74,19 @@ class TestRemovedSaltEntry:
         assert missing
         assert any("branch" in f.message for f in missing)
 
+    def test_dropped_sampling_source_fails_lint(self, tree):
+        # Sampled cells are cached under the same shared salt; losing the
+        # "sampling" entry would serve stale reconstructions after any
+        # edit to selection or reconstruction code.
+        mutate(tree, "experiments/result_cache.py",
+               '"analysis", "common", "sampling",',
+               '"analysis", "common",')
+        result = lint_paths([tree], select=INTERPROCEDURAL)
+        assert result.exit_code != 0
+        missing = [f for f in result.active if f.rule == "salt-missing"]
+        assert missing
+        assert any("sampling" in f.message for f in missing)
+
 
 class TestUnsanctionedWorkerState:
     def test_new_mutable_global_in_worker_path_fails_lint(self, tree):

@@ -1,0 +1,118 @@
+"""Functional cache warmup: MTR reconstruction vs replayed ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GOLDEN_COVE
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.warmup import (
+    WarmupIndex,
+    memory_access_stream,
+    preload_cache,
+    warm_hierarchy,
+)
+
+from tests.conftest import small_trace
+
+
+def replay(cache, addresses):
+    for address in addresses:
+        cache.lookup(int(address))
+
+
+class TestCachePreload:
+    def test_installs_lines_in_lru_order(self):
+        cache = Cache("toy", size_bytes=4 * 64 * 2, ways=2)  # 4 sets
+        cache.preload(1, [10, 20])
+        assert cache._sets[1] == [10, 20]
+
+    def test_rejects_out_of_range_set(self):
+        cache = Cache("toy", size_bytes=4 * 64 * 2, ways=2)
+        with pytest.raises(ValueError):
+            cache.preload(4, [1])
+        with pytest.raises(ValueError):
+            cache.preload(-1, [1])
+
+    def test_rejects_more_lines_than_ways(self):
+        cache = Cache("toy", size_bytes=4 * 64 * 2, ways=2)
+        with pytest.raises(ValueError):
+            cache.preload(0, [1, 2, 3])
+
+    def test_preload_does_not_touch_stats(self):
+        cache = Cache("toy", size_bytes=4 * 64 * 2, ways=2)
+        cache.preload(0, [4, 8])
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+
+class TestMtrExactness:
+    """For a cache that observes every access, the reconstruction rule
+    (last ``ways`` distinct lines per set, by last access) must equal the
+    state left by replaying the stream through ``lookup``."""
+
+    @pytest.mark.parametrize("bench", ["mcf", "lbm", "xz"])
+    def test_matches_replay_on_observing_cache(self, bench):
+        trace = small_trace(bench, 20_000)
+        positions, addresses = memory_access_stream(trace)
+        replayed = Cache("ref", size_bytes=16 * 1024, ways=4)
+        replay(replayed, addresses)
+
+        reconstructed = Cache("mtr", size_bytes=16 * 1024, ways=4)
+        index = WarmupIndex(positions, addresses, 64)
+        unique_lines, last_access = index.state_before(len(trace))
+        preload_cache(reconstructed, unique_lines, last_access)
+        assert reconstructed._sets == replayed._sets
+
+
+class TestWarmupIndex:
+    def oracle_state(self, positions, addresses, start):
+        lines = addresses[positions < start] >> 6
+        out = {}
+        for at, line in enumerate(lines):
+            out[int(line)] = at
+        return out
+
+    @pytest.mark.parametrize("start", [0, 1, 5_000, 20_000, 10**9])
+    def test_state_before_matches_oracle(self, start):
+        trace = small_trace("mcf", 20_000)
+        positions, addresses = memory_access_stream(trace)
+        index = WarmupIndex(positions, addresses, 64)
+        unique_lines, last_access = index.state_before(start)
+        assert dict(zip(unique_lines.tolist(), last_access.tolist())) \
+            == self.oracle_state(positions, addresses, start)
+        assert sorted(unique_lines.tolist()) == unique_lines.tolist()
+
+    def test_empty_stream(self):
+        empty = np.zeros(0, dtype=np.int64)
+        index = WarmupIndex(empty, empty, 64)
+        unique_lines, last_access = index.state_before(100)
+        assert unique_lines.shape == last_access.shape == (0,)
+
+    def test_warm_equals_warm_hierarchy(self):
+        """The indexed path must produce the same hierarchy state as the
+        one-shot ``warm_hierarchy`` on the cut prefix."""
+        trace = small_trace("xz", 20_000)
+        positions, addresses = memory_access_stream(trace)
+        cut_position = 12_000
+        index = WarmupIndex.from_trace(trace, 64)
+
+        indexed = MemoryHierarchy(GOLDEN_COVE.memory)
+        index.warm(indexed, cut_position)
+
+        cut = int(np.searchsorted(positions, cut_position))
+        oneshot = MemoryHierarchy(GOLDEN_COVE.memory)
+        warm_hierarchy(oneshot, addresses[:cut])
+
+        for a, b in zip((indexed.l1d, indexed.l2, indexed.l3),
+                        (oneshot.l1d, oneshot.l2, oneshot.l3)):
+            assert a._sets == b._sets
+
+
+class TestMemoryAccessStream:
+    def test_positions_are_load_store_uops(self):
+        trace = small_trace("perlbench1", 10_000)
+        positions, addresses = memory_access_stream(trace)
+        assert len(positions) == len(addresses)
+        assert all(trace[p].is_load or trace[p].is_store
+                   for p in positions.tolist())
+        assert (np.diff(positions) > 0).all()

@@ -1,0 +1,66 @@
+"""Sampled cells in the result cache: keys and CellSpec validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import GOLDEN_COVE
+from repro.experiments.parallel import CellSpec
+from repro.experiments.result_cache import cell_key
+from repro.sampling import SamplingPolicy
+
+
+def spec(**kwargs):
+    kwargs.setdefault("sampling", SamplingPolicy(interval_length=5_000))
+    return CellSpec(mode="timing", benchmark="mcf", num_uops=40_000,
+                    predictor="mascot", config=GOLDEN_COVE, **kwargs)
+
+
+class TestCellKeySensitivity:
+    def test_sampled_and_full_cells_never_collide(self):
+        assert cell_key(spec()) != cell_key(spec(sampling=None))
+
+    @pytest.mark.parametrize("knob, value", [
+        ("interval_length", 4_000),
+        ("max_k", 3),
+        ("warmup_intervals", 1),
+        ("projection_dims", 5),
+        ("seed", 9),
+        ("functional_warmup", False),
+        ("confidence", 0.9),
+        ("min_ci_relative", 0.05),
+    ])
+    def test_every_policy_knob_changes_the_key(self, knob, value):
+        base = SamplingPolicy(interval_length=5_000)
+        changed = dataclasses.replace(base, **{knob: value})
+        assert getattr(changed, knob) != getattr(base, knob), \
+            "fixture drifted: value matches the default"
+        assert cell_key(spec(sampling=base)) \
+            != cell_key(spec(sampling=changed))
+
+    def test_key_is_stable_for_equal_policies(self):
+        assert cell_key(spec()) == cell_key(spec())
+
+
+class TestCellSpecValidation:
+    def test_sampling_must_be_a_policy(self):
+        with pytest.raises(ValueError, match="SamplingPolicy"):
+            spec(sampling={"interval_length": 5_000})
+
+    def test_sampling_rejects_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            spec(warmup=1_000)
+
+    def test_sampling_rejects_f1_period(self):
+        with pytest.raises(ValueError, match="f1_period"):
+            spec(f1_period=100)
+
+    def test_sampling_rejects_telemetry(self):
+        with pytest.raises(ValueError):
+            CellSpec(mode="accuracy", benchmark="mcf", num_uops=40_000,
+                     predictor="mascot", telemetry=True,
+                     sampling=SamplingPolicy(interval_length=5_000))
+
+    def test_trace_must_cover_two_intervals(self):
+        with pytest.raises(ValueError, match="interval"):
+            spec(sampling=SamplingPolicy(interval_length=30_000))

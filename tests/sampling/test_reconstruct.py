@@ -1,0 +1,154 @@
+"""Sampled timing reconstruction: fidelity, engine agreement, warmup."""
+
+import pytest
+
+from repro.experiments.runner import run_timing
+from repro.experiments.suite import make_predictor
+from repro.sampling import SamplingPolicy, select_regions
+from repro.sampling.reconstruct import (
+    run_sampled_prediction,
+    run_sampled_timing,
+    warmed_interval,
+)
+
+from tests.conftest import small_trace
+
+
+def policy(**kwargs):
+    kwargs.setdefault("interval_length", 10_000)
+    kwargs.setdefault("max_k", 4)
+    kwargs.setdefault("warmup_intervals", 2)
+    return SamplingPolicy(**kwargs)
+
+
+def mascot():
+    return make_predictor("mascot")
+
+
+class TestReconstructionFidelity:
+    def test_tracks_full_run_within_ci(self):
+        trace = small_trace("mcf", 120_000)
+        sampled = run_sampled_timing(trace, mascot, policy(),
+                                     engine="batched")
+        full = run_timing(trace, mascot(), engine="batched")
+        error = abs(sampled.stats.ipc - full.ipc) / full.ipc
+        assert error < 0.05
+        lo, hi = sampled.ipc_ci
+        assert lo <= sampled.stats.ipc <= hi
+        assert lo <= full.ipc <= hi
+
+    def test_counters_scale_to_full_trace(self):
+        trace = small_trace("xz", 60_000)
+        sampled = run_sampled_timing(trace, mascot, policy(),
+                                     engine="batched")
+        stats = sampled.stats
+        assert stats.instructions == len(trace)
+        assert stats.accuracy.instructions == len(trace)
+        assert stats.cycles > 0
+        meta = stats.sampling
+        assert meta["metric"] == "ipc"
+        assert meta["estimate"] == pytest.approx(stats.ipc, rel=1e-6)
+        assert meta["ci"][0] < meta["estimate"] < meta["ci"][1]
+        assert meta["k"] == sampled.selection.k
+        assert meta["simulated_uops"] == sampled.simulated_uops
+        assert sampled.simulated_uops < len(trace)
+
+    def test_engines_reconstruct_identically(self):
+        trace = small_trace("perlbench1", 60_000)
+        scalar = run_sampled_timing(trace, mascot, policy(), engine="scalar")
+        batched = run_sampled_timing(trace, mascot, policy(),
+                                     engine="batched")
+        assert scalar.stats.cycles == batched.stats.cycles
+        assert scalar.stats.sampling == batched.stats.sampling
+        assert scalar.ipc_ci == batched.ipc_ci
+        for a, b in zip(scalar.region_stats, batched.region_stats):
+            assert a.cycles == b.cycles
+            assert a.instructions == b.instructions
+
+    def test_functional_warmup_off_still_reconstructs(self):
+        trace = small_trace("lbm", 60_000)
+        cold = run_sampled_timing(
+            trace, mascot, policy(functional_warmup=False),
+            engine="batched")
+        assert cold.stats.instructions == len(trace)
+        assert cold.stats.sampling["policy"]["functional_warmup"] is False
+
+
+class TestAccountingReconstruction:
+    def test_stack_sums_to_cycles_and_engines_agree(self):
+        trace = small_trace("mcf", 60_000)
+        scalar = run_sampled_timing(trace, mascot, policy(),
+                                    engine="scalar", accounting=True)
+        batched = run_sampled_timing(trace, mascot, policy(),
+                                     engine="batched", accounting=True)
+        for sampled in (scalar, batched):
+            assert sampled.stack is not None
+            assert sum(sampled.stack.cycles.values()) == sampled.stats.cycles
+            assert all(c >= 0 for c in sampled.stack.cycles.values())
+            assert len(sampled.region_stacks) == sampled.selection.k
+        assert scalar.stack.cycles == batched.stack.cycles
+
+    def test_accounting_off_leaves_stack_unset(self):
+        trace = small_trace("mcf", 40_000)
+        sampled = run_sampled_timing(trace, mascot, policy(),
+                                     engine="batched")
+        assert sampled.stack is None
+        assert sampled.region_stacks is None
+
+
+class TestWarmedInterval:
+    def test_piece_is_warmup_plus_region(self):
+        trace = small_trace("xz", 60_000)
+        pol = policy()
+        selection = select_regions(trace, pol)
+        for region in selection.regions:
+            piece, warmup = warmed_interval(trace, region, pol)
+            assert len(piece) == warmup + pol.interval_length
+            expected = min(region.start,
+                           pol.warmup_intervals * pol.interval_length)
+            assert warmup == expected
+            # The measured tail replays exactly the region's code.
+            region_pcs = [u.pc for u in trace[region.start:region.end]]
+            assert [u.pc for u in piece[warmup:]] == region_pcs
+
+    def test_earliest_region_gets_clipped_warmup(self):
+        trace = small_trace("xz", 30_000)
+        pol = policy(interval_length=10_000, warmup_intervals=4)
+        selection = select_regions(trace, pol)
+        first = selection.regions[0]
+        piece, warmup = warmed_interval(trace, first, pol)
+        assert warmup == first.start  # clipped at the start of the trace
+        assert len(piece) == first.end
+
+
+class TestSampledPrediction:
+    def test_mpki_metadata_and_scaled_counts(self):
+        trace = small_trace("perlbench1", 60_000)
+        result = run_sampled_prediction(trace, mascot, policy())
+        assert result.accuracy.instructions == len(trace)
+        meta = result.sampling
+        assert meta["metric"] == "mpki"
+        assert meta["ci"][0] <= meta["estimate"] <= meta["ci"][1]
+        assert sum(r["weight"] for r in meta["regions"]) \
+            == pytest.approx(1.0)
+
+
+class TestRunTimingSampledApi:
+    def test_sampling_requires_factory(self):
+        trace = small_trace("mcf", 40_000)
+        with pytest.raises(ValueError, match="predictor_factory"):
+            run_timing(trace, None, sampling=policy())
+
+    def test_sampling_excludes_measure_from(self):
+        trace = small_trace("mcf", 40_000)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            run_timing(trace, None, sampling=policy(),
+                       predictor_factory=mascot, measure_from=5_000)
+
+    def test_returns_reconstruction_with_metadata(self):
+        trace = small_trace("mcf", 40_000)
+        stats = run_timing(trace, None, engine="batched",
+                           sampling=policy(), predictor_factory=mascot)
+        assert stats.instructions == len(trace)
+        assert stats.sampling is not None
+        assert stats.sampling["metric"] == "ipc"

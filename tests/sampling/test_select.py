@@ -1,0 +1,82 @@
+"""Region selection: determinism, weight invariants, digest stability."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling import SamplingPolicy, select_regions
+
+from tests.conftest import small_trace
+
+
+def policy(interval_length=2000, **kwargs):
+    return SamplingPolicy(interval_length=interval_length, **kwargs)
+
+
+class TestSelectionInvariants:
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(
+        interval_length=st.sampled_from([1000, 2000, 3000, 5000]),
+        max_k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=7),
+    )
+    def test_weights_partition_the_trace(self, interval_length, max_k, seed):
+        trace = small_trace("xz", 20_000)
+        selection = select_regions(
+            trace, policy(interval_length, max_k=max_k, seed=seed))
+        assert sum(r.weight for r in selection.regions) == pytest.approx(1.0)
+        assert sum(r.cluster_size for r in selection.regions) \
+            == selection.n_intervals
+        assert 1 <= selection.k <= max_k
+        assert len(selection.centroids) == selection.k
+        indices = [r.index for r in selection.regions]
+        assert indices == sorted(indices)
+        assert all(r.dispersion >= 0.0 for r in selection.regions)
+        for region in selection.regions:
+            assert region.start == region.index * interval_length
+            assert region.end == region.start + interval_length
+
+    def test_coverage_is_selected_share(self):
+        trace = small_trace("xz", 20_000)
+        selection = select_regions(trace, policy(2000, max_k=4))
+        assert selection.coverage == pytest.approx(
+            selection.k / selection.n_intervals)
+
+    def test_bic_scored_every_candidate_k(self):
+        trace = small_trace("xz", 20_000)
+        selection = select_regions(trace, policy(2000, max_k=4))
+        assert sorted(selection.bic_by_k) == [1, 2, 3, 4]
+
+
+class TestDeterminism:
+    def test_repeated_selection_is_identical(self):
+        trace = small_trace("perlbench1", 20_000)
+        first = select_regions(trace, policy(2000, max_k=4))
+        second = select_regions(trace, policy(2000, max_k=4))
+        assert first.regions == second.regions
+        assert first.digest == second.digest
+
+    def test_digest_distinguishes_policies(self):
+        trace = small_trace("perlbench1", 20_000)
+        a = select_regions(trace, policy(2000, max_k=4))
+        b = select_regions(trace, policy(2000, max_k=4, seed=3))
+        assert a.digest != b.digest
+
+    def test_digest_is_bit_identical_across_processes(self):
+        """Two interpreters must *prove* they selected the same regions."""
+        trace = small_trace("perlbench1", 20_000)
+        local = select_regions(trace, policy(2000, max_k=4)).digest
+        script = (
+            "from repro.sampling import SamplingPolicy, select_regions\n"
+            "from repro.trace.generator import generate_trace\n"
+            "trace = generate_trace('perlbench1', 20000)\n"
+            "policy = SamplingPolicy(interval_length=2000, max_k=4)\n"
+            "print(select_regions(trace, policy).digest)\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            check=True,
+        ).stdout.strip()
+        assert remote == local

@@ -1,11 +1,13 @@
 """Tests for SimPoint-style interval selection."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.trace.simpoints import (
     Interval,
     estimate_weighted,
     basic_block_vectors,
+    kmeans_labels,
     rebase_interval,
     select_simpoints,
     split_intervals,
@@ -100,6 +102,64 @@ class TestSelectSimpoints:
         ]
 
 
+class TestKmeansEmptyClusters:
+    """Regression: a cluster that empties mid-Lloyd used to keep its stale
+    centroid, and ``select_simpoints`` silently returned fewer than k
+    SimPoints.  Empty clusters are now re-seeded from the farthest point."""
+
+    def duplicate_heavy_vectors(self):
+        import numpy as np
+
+        # 3 distinct rows, but one of them overwhelms the data: a
+        # k-means++ seeding that lands two centroids near the heavy mode
+        # empties one of them in the first Lloyd assignment.
+        rows = [[0.0, 0.0]] * 60 + [[10.0, 0.0]] * 2 + [[0.0, 10.0]] * 2
+        return np.asarray(rows)
+
+    def test_all_k_clusters_survive(self):
+        import numpy as np
+
+        vectors = self.duplicate_heavy_vectors()
+        for seed in range(20):
+            labels = kmeans_labels(vectors, 3, seed=seed)
+            assert set(np.unique(labels)) == {0, 1, 2}, f"seed {seed}"
+
+    def test_reseed_is_deterministic(self):
+        import numpy as np
+
+        vectors = self.duplicate_heavy_vectors()
+        a = kmeans_labels(vectors, 3, seed=5)
+        b = kmeans_labels(vectors, 3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_degenerate_duplicates_do_not_loop(self):
+        import numpy as np
+
+        # Fewer distinct rows than k: repair must give up gracefully
+        # rather than spin or crash; labels stay valid.
+        vectors = np.zeros((8, 3))
+        labels = kmeans_labels(vectors, 4, seed=0)
+        assert labels.shape == (8,)
+        assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+    def test_select_simpoints_returns_full_k(self):
+        # Trace with 3 phases but one dominating phase; before the fix a
+        # mid-iteration empty cluster could drop a representative.
+        trace = []
+        seq = 0
+        spec = [(0x400000, 12), (0x500000, 2), (0x600000, 2)]
+        for base, blocks in spec:
+            for _ in range(blocks):
+                for i in range(500):
+                    trace.append(
+                        MicroOp(seq, base + 4 * (i % 25), OpClass.ALU)
+                    )
+                    seq += 1
+        simpoints = select_simpoints(trace, 500, max_k=3, seed=0)
+        assert len(simpoints) == 3
+        assert sum(s.weight for s in simpoints) == pytest.approx(1.0)
+
+
 class TestRebaseInterval:
     def test_renumbers_from_zero(self):
         trace = small_trace("perlbench1", 8_000)
@@ -132,6 +192,39 @@ class TestRebaseInterval:
         piece = rebase_interval(trace, Interval(0, 3000, 6000))
         stats = Pipeline(Mascot()).run(piece)
         assert stats.instructions == 3000
+
+    @given(offset=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_offset_is_a_pure_shift(self, offset):
+        """A non-zero offset must shift every sequence reference by the
+        same amount and change nothing else — rebased slices are stitched
+        after ``offset`` other micro-ops (sampled warmup prefixes)."""
+        trace = small_trace("perlbench1", 8_000)
+        base = rebase_interval(trace, Interval(0, 2000, 4000))
+        shifted = rebase_interval(trace, Interval(0, 2000, 4000),
+                                  offset=offset)
+        assert len(shifted) == len(base)
+        for a, b in zip(base, shifted):
+            assert b.seq == a.seq + offset
+            assert b.srcs == tuple(s + offset for s in a.srcs)
+            assert b.addr_src == (None if a.addr_src is None
+                                  else a.addr_src + offset)
+            if a.dep_store_seq is None or a.dep_store_seq < 0:
+                assert b.dep_store_seq == a.dep_store_seq
+            else:
+                assert b.dep_store_seq == a.dep_store_seq + offset
+            assert (b.pc, b.op, b.address, b.bypass) \
+                == (a.pc, a.op, a.address, a.bypass)
+
+    def test_zero_offset_is_the_default(self):
+        trace = small_trace("perlbench1", 8_000)
+        assert rebase_interval(trace, Interval(0, 2000, 4000)) \
+            == rebase_interval(trace, Interval(0, 2000, 4000), offset=0)
+
+    def test_negative_offset_rejected(self):
+        trace = small_trace("perlbench1", 8_000)
+        with pytest.raises(ValueError):
+            rebase_interval(trace, Interval(0, 2000, 4000), offset=-1)
 
 
 class TestEstimateWeighted:
