@@ -9,6 +9,11 @@
 # run.  Exercises every recovery layer at once: worker-lost requeue,
 # lease expiry bookkeeping, torn journal tails and `--resume`.
 #
+# Act two repeats the discipline for the shared-service layer: a grid
+# submitted through `repro serve` (backed by `repro cache-serve`) must
+# stream digests bit-identical to a serial cache-off run even when the
+# cache server is SIGKILLed mid-grid and restarted.
+#
 # Requires PYTHONPATH to reach the repro package (CI exports it).
 set -euo pipefail
 
@@ -89,3 +94,124 @@ python -m repro accuracy mascot phast "${GRID[@]}" --uops "$UOPS" \
 diff "$WORKDIR/resumed.out" "$WORKDIR/clean.out"
 echo "chaos drill: merged results bit-identical after worker kill" \
      "and coordinator restart"
+
+########################################################################
+# Act two: shared cache service + async submit API.
+#
+# Starts a `repro cache-serve` result-cache server (with torn-once and
+# corrupt-once protocol faults injected into its replies) and a
+# `repro serve` HTTP coordinator backed by two `--sessions 2` workers,
+# streams a grid submission as NDJSON, SIGKILLs the cache server
+# mid-grid (the client degrades to its read-only local fallback),
+# restarts it on the same port (the client reconnects), and requires
+# the streamed digests to be bit-identical to a serial cache-off run
+# of the same submission.
+
+echo "chaos drill: act two — cache service + async submit"
+
+CACHE_DIR="$WORKDIR/cache"
+REPRO_FAULT_INJECT="torn-once=cache/serve@$WORKDIR/torn.latch;corrupt-once=cache/serve@$WORKDIR/corrupt.latch" \
+python -m repro cache-serve --cache-dir "$CACHE_DIR" \
+    --ready-file "$WORKDIR/cs.ready" >/dev/null 2>&1 &
+CS_PID=$!
+wait_ready "$WORKDIR/cs.ready"
+CS_ADDR=$(cat "$WORKDIR/cs.ready")
+CS_PORT="${CS_ADDR##*:}"
+
+# Preflight: the cache server answers the protocol handshake too.
+python -m repro doctor --cache-url "tcp://$CS_ADDR"
+
+python -m repro worker --sessions 2 --ready-file "$WORKDIR/w4.ready" \
+    >/dev/null 2>&1 &
+python -m repro worker --sessions 2 --ready-file "$WORKDIR/w5.ready" \
+    >/dev/null 2>&1 &
+wait_ready "$WORKDIR/w4.ready"
+wait_ready "$WORKDIR/w5.ready"
+
+python -m repro serve \
+    --workers "$(cat "$WORKDIR/w4.ready"),$(cat "$WORKDIR/w5.ready")" \
+    --cache-url "tcp://$CS_ADDR" --ready-file "$WORKDIR/serve.ready" \
+    >/dev/null 2>&1 &
+wait_ready "$WORKDIR/serve.ready"
+SERVE_ADDR=$(cat "$WORKDIR/serve.ready")
+
+cat >"$WORKDIR/grid.json" <<EOF
+{"mode": "accuracy", "predictors": ["mascot", "phast"],
+ "benchmarks": ["exchange2", "lbm", "perlbench1", "mcf"],
+ "num_uops": $UOPS}
+EOF
+
+cat >"$WORKDIR/submit.py" <<'EOF'
+"""Stream one NDJSON grid submission to stdout as records settle."""
+import sys
+import urllib.request
+
+addr, grid = sys.argv[1], sys.argv[2]
+request = urllib.request.Request(
+    f"http://{addr}/submit", data=open(grid, "rb").read(),
+    headers={"Content-Type": "application/json"})
+with urllib.request.urlopen(request, timeout=900) as response:
+    for line in response:
+        text = line.decode().strip()
+        if text:
+            print(text, flush=True)
+EOF
+
+python "$WORKDIR/submit.py" "$SERVE_ADDR" "$WORKDIR/grid.json" \
+    >"$WORKDIR/stream.ndjson" &
+SUBMIT_PID=$!
+
+wait_cells() { # $1: minimum streamed cell records
+    for _ in $(seq 1 1200); do
+        n=$(grep -c '"event": "cell"' "$WORKDIR/stream.ndjson" \
+            2>/dev/null || true)
+        [ "${n:-0}" -ge "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "chaos drill: timed out waiting for $1 streamed cells" >&2
+    exit 1
+}
+
+wait_cells 1
+kill -9 "$CS_PID"               # the cache server dies mid-grid ...
+echo "chaos drill: killed cache server (pid $CS_PID)"
+wait_cells 3                    # ... and the grid keeps settling without it
+python -m repro cache-serve --cache-dir "$CACHE_DIR" --port "$CS_PORT" \
+    --ready-file "$WORKDIR/cs2.ready" >/dev/null 2>&1 &
+wait_ready "$WORKDIR/cs2.ready"
+echo "chaos drill: restarted cache server on port $CS_PORT"
+
+wait "$SUBMIT_PID"
+
+# The injected protocol fault really fired (its latch file exists);
+# the client absorbed it with a reconnect retry.
+if [ ! -f "$WORKDIR/torn.latch" ]; then
+    echo "chaos drill: injected torn fault never fired" >&2
+    exit 1
+fi
+
+# Bit-identical to a serial cache-off run of the same submission.
+python - "$WORKDIR" <<'EOF'
+import json
+import sys
+
+from repro.experiments.parallel import execute_cells
+from repro.experiments.serve import SubmissionSpec, submission_summary
+
+workdir = sys.argv[1]
+with open(f"{workdir}/grid.json") as handle:
+    spec = SubmissionSpec(json.load(handle))
+results = execute_cells(spec.cells, cache=None, journal=None)
+reference = submission_summary(spec.mode, spec.cells, results)["digests"]
+
+records = [json.loads(line)
+           for line in open(f"{workdir}/stream.ndjson") if line.strip()]
+done = records[-1]
+assert done["event"] == "done", done
+assert done["failed"] == 0, done
+streamed = done["summary"]["digests"]
+assert streamed == reference, (streamed, reference)
+print(f"chaos drill: {len(streamed)} streamed digests bit-identical "
+      "to the serial cache-off reference")
+EOF
+echo "chaos drill: submission survived a cache-server kill + restart"

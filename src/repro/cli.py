@@ -25,6 +25,13 @@ can be reproduced without writing Python:
 * ``worker``    — serve suite cells to a coordinator over TCP (the
   ``--backend workers`` substrate; see
   :mod:`repro.experiments.worker`).
+* ``cache-serve`` — serve one result-cache directory to many
+  coordinators over TCP; sweeps attach with ``--cache-url
+  tcp://host:port`` or ``$REPRO_CACHE_URL`` (see
+  :mod:`repro.experiments.cache_service` and docs/cache-service.md).
+* ``serve``     — async HTTP coordinator: POST JSON grid submissions to
+  ``/submit`` and stream per-cell results back as NDJSON while multiple
+  tenants share one worker fleet (see :mod:`repro.experiments.serve`).
 * ``bench-baseline`` — measure scalar vs batched engine throughput and
   write (or, with ``--check``, compare against) the committed
   ``benchmarks/BENCH_throughput.json`` (see docs/performance.md).
@@ -80,14 +87,20 @@ __all__ = ["main"]
 _CORES = {"golden-cove": GOLDEN_COVE, "lion-cove": LION_COVE}
 
 def _cache_arg(args):
-    """Map --no-cache / --cache-dir onto the suite APIs' cache parameter.
+    """Map --no-cache / --cache-url / --cache-dir onto the cache parameter.
 
     The CLI defaults to caching on (under $REPRO_CACHE_DIR or
     ~/.cache/repro-mascot) so repeated figure regenerations only pay for
-    cells whose parameters or code actually changed.
+    cells whose parameters or code actually changed.  --cache-url points
+    at a shared ``repro cache-serve`` instead (bare host:port is
+    normalised to tcp://); $REPRO_CACHE_URL does the same for the
+    default-on path.
     """
     if args.no_cache:
         return False
+    url = getattr(args, "cache_url", None)
+    if url is not None:
+        return url if "://" in url else f"tcp://{url}"
     if args.cache_dir is not None:
         return args.cache_dir
     return True
@@ -292,6 +305,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", type=_cache_directory, default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-mascot)",
+    )
+    parser.add_argument(
+        "--cache-url", default=None, metavar="URL",
+        help="tcp://host:port of a shared 'repro cache-serve' result "
+             "cache (default: $REPRO_CACHE_URL when set; takes "
+             "precedence over --cache-dir)",
     )
     parser.add_argument(
         "--cell-timeout", type=_positive_float, default=None,
@@ -520,6 +539,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also preflight these 'repro worker' endpoints (handshake "
              "+ protocol version; unreachable workers fail the check)",
     )
+    doctor.add_argument(
+        "--cache-url", default=None, metavar="URL",
+        help="also preflight this 'repro cache-serve' endpoint "
+             "(handshake + stats; an unreachable server fails the check)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -535,6 +559,63 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-sessions", type=int, default=None,
                         metavar="N",
                         help="exit after N coordinator sessions")
+    worker.add_argument("--sessions", type=_positive_int, default=1,
+                        metavar="N",
+                        help="concurrent coordinator sessions; >1 lets "
+                             "'repro serve' tenants multiplex this worker "
+                             "(default: %(default)s)")
+
+    cache_serve = sub.add_parser(
+        "cache-serve",
+        help="serve a shared result cache over TCP (point sweeps at it "
+             "with --cache-url)",
+    )
+    cache_serve.add_argument("--host", default="127.0.0.1",
+                             help="address to bind (default: %(default)s)")
+    cache_serve.add_argument("--port", type=int, default=0,
+                             help="TCP port (default: 0 = ephemeral)")
+    cache_serve.add_argument("--cache-dir", type=_cache_directory,
+                             default=None, metavar="DIR",
+                             help="cache directory to serve (default: "
+                                  "$REPRO_CACHE_DIR or "
+                                  "~/.cache/repro-mascot)")
+    cache_serve.add_argument("--ready-file", default=None, metavar="FILE",
+                             help="write host:port here once listening")
+    cache_serve.add_argument("--max-sessions", type=int, default=None,
+                             metavar="N",
+                             help="exit after N client sessions")
+
+    serve_http_p = sub.add_parser(
+        "serve",
+        help="async HTTP coordinator: POST grid submissions, stream "
+             "per-cell results as NDJSON",
+    )
+    serve_http_p.add_argument("--host", default="127.0.0.1",
+                              help="address to bind "
+                                   "(default: %(default)s)")
+    serve_http_p.add_argument("--port", type=int, default=0,
+                              help="TCP port (default: 0 = ephemeral)")
+    serve_http_p.add_argument("--ready-file", default=None, metavar="FILE",
+                              help="write host:port here once listening")
+    serve_http_p.add_argument("--workers", default=None,
+                              metavar="HOST:PORT[,HOST:PORT...]",
+                              help="repro worker endpoints every "
+                                   "submission dispatches to (default: "
+                                   "compute locally)")
+    serve_http_p.add_argument("--jobs", type=_positive_int, default=1,
+                              metavar="N",
+                              help="local process count when no "
+                                   "--workers (default: %(default)s)")
+    serve_cache_args = serve_http_p.add_mutually_exclusive_group()
+    serve_cache_args.add_argument("--cache-url", default=None,
+                                  metavar="URL",
+                                  help="tcp://host:port of a "
+                                       "'repro cache-serve'")
+    serve_cache_args.add_argument("--cache-dir", type=_cache_directory,
+                                  default=None, metavar="DIR",
+                                  help="local cache directory")
+    serve_cache_args.add_argument("--no-cache", action="store_true",
+                                  help="disable the result cache")
 
     return parser
 
@@ -833,11 +914,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .doctor import run_doctor
         return run_doctor(cache_dir=args.cache_dir,
                           journal_dir=args.journal_dir,
-                          workers=args.workers)
+                          workers=args.workers,
+                          cache_url=args.cache_url)
     if args.command == "worker":
         from .experiments.worker import serve
         serve(host=args.host, port=args.port, ready_file=args.ready_file,
-              max_sessions=args.max_sessions)
+              max_sessions=args.max_sessions, sessions=args.sessions)
+        return 0
+    if args.command == "cache-serve":
+        from .experiments.cache_service import serve_cache
+        serve_cache(host=args.host, port=args.port,
+                    directory=args.cache_dir, ready_file=args.ready_file,
+                    max_sessions=args.max_sessions)
+        return 0
+    if args.command == "serve":
+        from .experiments.serve import serve_http
+        serve_http(host=args.host, port=args.port, workers=args.workers,
+                   jobs=args.jobs, cache=_cache_arg(args),
+                   ready_file=args.ready_file)
         return 0
     raise AssertionError(f"unhandled command {args.command}")
 

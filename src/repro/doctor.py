@@ -18,6 +18,13 @@ Checks:
 * every ``--workers host:port`` endpoint answers the protocol handshake
   with a matching version (distributed-backend preflight; unreachable or
   version-skewed workers fail the check),
+* the ``--cache-url`` cache server answers the handshake and reports its
+  counters (shared-cache preflight; sweeps pointed at an unreachable
+  server silently degrade to read-only local fallback, so catch it
+  here),
+* no orphaned ``.tmp*`` files have accumulated in the cache directory
+  (a crashed writer leaves at most a few; doctor sweeps ones older than
+  an hour and reports what it removed),
 * the lint baseline, when present, parses,
 * the trace generator produces a benchmark trace (simulator smoke test).
 """
@@ -95,6 +102,51 @@ def _check_worker_endpoints(workers: str) -> Tuple[bool, str]:
                   f"reachable, protocol v{PROTOCOL_VERSION}")
 
 
+def _check_cache_server(cache_url: str) -> Tuple[bool, str]:
+    from .experiments.backends import FrameError, ProtocolVersionError
+    from .experiments.cache_service import (
+        parse_cache_url,
+        probe_cache_server,
+    )
+
+    try:
+        host, port = parse_cache_url(cache_url)
+    except ValueError as error:
+        return False, f"bad --cache-url value: {error}"
+    try:
+        stats = probe_cache_server(host, port)
+    except ProtocolVersionError as error:
+        return False, (f"{host}:{port} version skew: {error} — redeploy "
+                       "the older side")
+    except FrameError as error:
+        return False, f"{host}:{port} is not a repro cache server ({error})"
+    except OSError as error:
+        return False, (f"{host}:{port} unreachable ({error}) — sweeps "
+                       "would fall back to a read-only local cache")
+    counters = stats.get("counters", {})
+    rendered = ", ".join(f"{key}={counters.get(key, 0)}"
+                         for key in ("sessions", "loads", "server_stores",
+                                     "rejected_stores", "probes"))
+    return True, (f"cache server {host}:{port} ok "
+                  f"(dir {stats.get('directory', '?')}; {rendered})")
+
+
+def _check_orphan_tmp(cache_dir: Optional[str]) -> Tuple[bool, str]:
+    from .experiments.result_cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    orphans = cache.orphan_tmp_files()
+    if not orphans:
+        return True, f"no orphaned .tmp files: {cache.directory}"
+    swept = cache.sweep_orphan_tmp(min_age=3600.0)
+    remaining = len(orphans) - swept
+    note = (f"swept {swept} orphaned .tmp file(s) older than 1h, "
+            f"{remaining} recent one(s) left in {cache.directory}")
+    # Recent temp files may belong to a live writer mid-store; only a
+    # backlog that survives the sweep indicates leaking writers.
+    return remaining == 0, note
+
+
 def _check_journal_dir(journal_dir: Optional[str]) -> Tuple[bool, str]:
     from .experiments.journal import RunJournal
 
@@ -153,24 +205,30 @@ def _check_simulator() -> Tuple[bool, str]:
 
 def run_doctor(cache_dir: Optional[str] = None,
                journal_dir: Optional[str] = None,
-               workers: Optional[str] = None) -> int:
+               workers: Optional[str] = None,
+               cache_url: Optional[str] = None) -> int:
     """Run every check, print one line each; 0 iff all passed.
 
     ``workers`` is a ``host:port,...`` list of ``repro worker`` endpoints
     to preflight (the ``--workers`` value a sweep would use); omitted, the
-    distributed checks are skipped.
+    distributed checks are skipped.  ``cache_url`` likewise preflights a
+    ``repro cache-serve`` endpoint (the ``--cache-url`` value).
     """
     checks: List[Tuple[str, Callable[[], Tuple[bool, str]]]] = [
         ("cache", lambda: _check_cache_dir(cache_dir)),
         ("cache-lock", lambda: _check_cache_lock(cache_dir)),
+        ("cache-tmp", lambda: _check_orphan_tmp(cache_dir)),
         ("journal", lambda: _check_journal_dir(journal_dir)),
         ("workers", _check_worker_spawn),
         ("lint", _check_lint_baseline),
         ("simulator", _check_simulator),
     ]
     if workers is not None:
-        checks.insert(4, ("endpoints",
+        checks.insert(5, ("endpoints",
                           lambda: _check_worker_endpoints(workers)))
+    if cache_url is not None:
+        checks.insert(3, ("cache-server",
+                          lambda: _check_cache_server(cache_url)))
     failures = 0
     for name, check in checks:
         passed, message = check()

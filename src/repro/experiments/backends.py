@@ -65,6 +65,7 @@ __all__ = [
     "WorkerBackend",
     "WorkerLostError",
     "lease_id",
+    "parse_endpoint",
     "parse_endpoints",
     "probe_endpoint",
     "recv_frame",
@@ -206,22 +207,57 @@ def lease_id(key: str, attempt: int) -> str:
     return "lease-" + stable_digest(f"{key}:{attempt}")[:12]
 
 
+def parse_endpoint(chunk: str) -> Tuple[str, int]:
+    """Parse one ``host:port`` (or bracketed ``[v6addr]:port``) endpoint.
+
+    IPv6 literals must be bracketed (``[::1]:5000``) — a bare ``::1:5000``
+    is ambiguous.  Ports outside 1–65535 (``int`` happily parses ``-1``
+    and ``99999``) are rejected here rather than at connect time.
+    """
+    chunk = chunk.strip()
+    if chunk.startswith("["):
+        host, sep, port_text = chunk[1:].partition("]:")
+        if not sep or not host:
+            raise ValueError(
+                f"bad worker endpoint {chunk!r}: want [v6addr]:port")
+    else:
+        host, sep, port_text = chunk.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"bad worker endpoint {chunk!r}: want host:port")
+        if ":" in host:
+            raise ValueError(
+                f"bad worker endpoint {chunk!r}: bracket IPv6 addresses "
+                "([::1]:5000)")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad worker endpoint {chunk!r}: port is not an integer"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"bad worker endpoint {chunk!r}: port {port} outside 1-65535")
+    return host, port
+
+
 def parse_endpoints(text: str) -> Tuple[Tuple[str, int], ...]:
-    """Parse ``host:port[,host:port...]`` into endpoint tuples."""
+    """Parse ``host:port[,host:port...]`` into endpoint tuples.
+
+    A duplicate endpoint is an error: it would silently double-connect
+    one worker, and ``repro worker`` serves one session at a time — the
+    duplicate connection would deadlock the sweep until its deadline.
+    """
     endpoints: List[Tuple[str, int]] = []
     for chunk in text.split(","):
         chunk = chunk.strip()
         if not chunk:
             continue
-        host, sep, port = chunk.rpartition(":")
-        if not sep or not host:
-            raise ValueError(f"bad worker endpoint {chunk!r}: want host:port")
-        try:
-            endpoints.append((host, int(port)))
-        except ValueError:
+        endpoint = parse_endpoint(chunk)
+        if endpoint in endpoints:
             raise ValueError(
-                f"bad worker endpoint {chunk!r}: port is not an integer"
-            ) from None
+                f"duplicate worker endpoint {chunk!r}: each endpoint is "
+                "one worker; list it once")
+        endpoints.append(endpoint)
     if not endpoints:
         raise ValueError(f"no worker endpoints in {text!r}")
     return tuple(endpoints)

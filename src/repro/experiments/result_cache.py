@@ -47,6 +47,7 @@ hit is bit-identical to recomputation.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import sys
@@ -54,7 +55,7 @@ import time
 from dataclasses import asdict, is_dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..common.hashing import stable_digest
 from ..core.stats import PipelineStats
@@ -207,7 +208,16 @@ class CacheLock:
     key: rename atomicity across NFS clients is weaker, and concurrent
     quarantine moves can collide.  The lock is an ``O_CREAT | O_EXCL``
     file next to the entry — the one creation primitive that is atomic on
-    NFS — holding the creator's pid for post-mortems.
+    NFS — holding a per-acquire ownership token (``pid:nonce``).
+
+    Ownership discipline: every unlink is conditional on the lock file
+    still holding the token the unlinker observed.  ``release`` only
+    removes the file when it still carries *this* acquire's token (a
+    stale-breaker may have removed our lock and a third party re-acquired
+    it — unconditional unlink would steal theirs), and a stale-break only
+    removes the file when it still carries the token whose age was judged
+    stale (the holder may have released and someone else re-acquired
+    between ``stat`` and ``unlink``).
 
     Deliberately *best-effort*: if the lock cannot be acquired within
     ``timeout`` seconds the caller proceeds unlocked (counted by the
@@ -216,7 +226,17 @@ class CacheLock:
     bytes.  A lock file older than ``stale_after`` seconds is broken: its
     holder died between acquire and release, and no store ever takes
     anywhere near that long.
+
+    This lock-file discipline is the *filesystem-only legacy path* for
+    sharing a cache directory across hosts; the network cache service
+    (:mod:`repro.experiments.cache_service`) serialises writers in one
+    process and needs none of it.
     """
+
+    #: Per-process nonce source making each acquire's token unique even
+    #: when one process re-acquires the same lock path (deterministic —
+    #: no entropy reaches any result payload).
+    _NONCES = itertools.count()
 
     def __init__(self, path: Union[str, Path], timeout: float = 2.0,
                  stale_after: float = 30.0):
@@ -224,10 +244,12 @@ class CacheLock:
         self.timeout = float(timeout)
         self.stale_after = float(stale_after)
         self.acquired = False
+        self.token: Optional[str] = None
 
     def acquire(self) -> bool:
         """Try to take the lock; False means *proceed unlocked*."""
         deadline = time.monotonic() + self.timeout
+        token = f"{os.getpid()}:{next(self._NONCES)}"
         while True:
             try:
                 fd = os.open(self.path,
@@ -241,32 +263,60 @@ class CacheLock:
             except OSError:
                 return False  # unwritable directory: proceed unlocked
             try:
-                os.write(fd, str(os.getpid()).encode())
+                os.write(fd, token.encode())
             finally:
                 os.close(fd)
             self.acquired = True
+            self.token = token
             return True
 
-    def _break_if_stale(self) -> None:
-        """Remove a lock whose holder evidently died; best-effort."""
+    def _read_state(self) -> Optional[Tuple[str, float]]:
+        """Current ``(token, age_seconds)`` of the lock file, or None."""
         try:
+            token = self.path.read_text()
             # Wall-clock age of the lock file vs its mtime: gates crash
             # cleanup only, never results.
             # repro-lint: allow(det-time) -- lock-file age for stale-break
             age = time.time() - self.path.stat().st_mtime
-            if age > self.stale_after:
-                self.path.unlink()
         except OSError:
-            pass  # raced another breaker, or the holder released it
+            return None  # raced another breaker, or the holder released
+        return token, age
+
+    def _unlink_if_token(self, token: str) -> bool:
+        """Remove the lock file iff it still holds ``token``.
+
+        The token check closes the ownership races: a lock that changed
+        hands between our last observation and now presents a different
+        token and is left alone.  (A raced re-acquire *between* the check
+        and the unlink remains theoretically possible with plain POSIX
+        primitives, but requires a full release+re-acquire cycle inside
+        that microsecond window — compared to the seconds-wide stat/unlink
+        window this replaces.)
+        """
+        try:
+            if self.path.read_text() != token:
+                return False
+            self.path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def _break_if_stale(self) -> None:
+        """Remove a lock whose holder evidently died; best-effort."""
+        observed = self._read_state()
+        if observed is None:
+            return
+        token, age = observed
+        if age > self.stale_after:
+            self._unlink_if_token(token)
 
     def release(self) -> None:
         if not self.acquired:
             return
         self.acquired = False
-        try:
-            self.path.unlink()
-        except OSError:
-            pass  # a stale-breaker stole it; nothing left to release
+        token, self.token = self.token, None
+        if token is not None:
+            self._unlink_if_token(token)
 
     def __enter__(self) -> "CacheLock":
         self.acquire()
@@ -352,14 +402,26 @@ class ResultCache:
     def _lock_for(self, path: Path) -> CacheLock:
         return CacheLock(path.with_name(path.name + ".lock"))
 
-    def load(self, key: str) -> Optional[object]:
-        """Decoded result for ``key``, or None on miss/staleness/corruption.
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no verification).
 
-        A missing file or an entry from an older schema version is a plain
-        miss (the recomputed result overwrites it).  A *corrupt* file —
-        unparsable, wrong embedded key, digest mismatch, undecodable
-        result — is quarantined to ``corrupt/`` so it is never rescanned
-        and remains available for post-mortems.
+        Cheap presence probe used to skip redundant stores; a corrupt
+        entry that would fail :meth:`load` still counts as present (the
+        next load quarantines it).
+        """
+        return self.path_for(key).exists()
+
+    def load_encoded(self, key: str) -> Optional[Dict]:
+        """Verified *encoded* payload for ``key``, or None.
+
+        The shared verification half of :meth:`load` — also the server
+        side of the network cache service, which ships encoded payloads
+        over the wire without decoding them.  A missing file or an entry
+        from an older schema version is a plain miss (the recomputed
+        result overwrites it).  A *corrupt* file — unparsable, wrong
+        embedded key, digest mismatch, undecodable result — is
+        quarantined to ``corrupt/`` so it is never rescanned and remains
+        available for post-mortems.  Counts the hit/miss either way.
         """
         path = self.path_for(key)
         try:
@@ -379,13 +441,20 @@ class ResultCache:
             encoded = payload["result"]
             if payload.get("digest") != stable_digest(encoded):
                 raise ValueError("result digest mismatch")
-            result = decode_result(encoded)
+            decode_result(encoded)  # undecodable results are corrupt too
         except (ValueError, KeyError, TypeError):
             self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
-        return result
+        return encoded
+
+    def load(self, key: str) -> Optional[object]:
+        """Decoded result for ``key``, or None on miss/staleness/corruption."""
+        encoded = self.load_encoded(key)
+        if encoded is None:
+            return None
+        return decode_result(encoded)
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside; best-effort, never raises."""
@@ -410,21 +479,24 @@ class ResultCache:
         except OSError:
             pass  # read-only cache: the entry simply stays a miss
 
-    def store(self, key: str, result: object) -> None:
-        """Atomically persist ``result`` under ``key``.
+    def store_encoded(self, key: str, encoded: Dict) -> None:
+        """Atomically persist an already-encoded payload under ``key``.
 
-        The temp-file + ``os.replace`` dance guarantees a reader (or a
-        worker killed mid-write) can never observe a torn entry, and a
-        per-entry :class:`CacheLock` serialises concurrent writers of the
-        same key on shared filesystems (several coordinators warming one
-        NFS cache).  Losing the lock race past its timeout downgrades to
-        the unlocked store — still atomic locally — and bumps
-        ``lock_timeouts``.  A read-only cache skips the store silently
-        (the warning was issued once, at resolve time).
+        The writing half of :meth:`store` — also the server side of the
+        network cache service.  The temp-file + ``os.replace`` dance
+        guarantees a reader (or a worker killed mid-write) can never
+        observe a torn entry, and a per-entry :class:`CacheLock`
+        serialises concurrent writers of the same key on shared
+        filesystems (several coordinators warming one NFS cache).  Losing
+        the lock race past its timeout downgrades to the unlocked store —
+        still atomic locally — and bumps ``lock_timeouts``.  A read-only
+        cache skips the store silently (the warning was issued once, at
+        resolve time).  A write that fails partway (disk full, killed
+        writer) removes its temp file on the way out instead of stranding
+        ``<key>.json.tmp<pid>`` forever.
         """
         if self.read_only:
             return
-        encoded = encode_result(result)
         payload = {
             "v": CACHE_SCHEMA_VERSION,
             "key": key,
@@ -438,11 +510,67 @@ class ResultCache:
             self.lock_timeouts += 1
         try:
             tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(payload))
-            os.replace(tmp, path)
+            try:
+                tmp.write_text(json.dumps(payload))
+                os.replace(tmp, path)
+            finally:
+                try:
+                    tmp.unlink()  # no-op after a successful os.replace
+                except OSError:
+                    pass
             self.stores += 1
         finally:
             lock.release()
+
+    def store(self, key: str, result: object) -> None:
+        """Atomically persist ``result`` under ``key`` (see store_encoded)."""
+        if self.read_only:
+            return
+        self.store_encoded(key, encode_result(result))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter snapshot for metrics sweep records and doctor output."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "lock_timeouts": self.lock_timeouts,
+        }
+
+    def orphan_tmp_files(self) -> List[Path]:
+        """Stranded ``<key>.json.tmp<pid>`` files in the cache directory.
+
+        Pre-fix writers (and writers killed between ``write_text`` and
+        ``os.replace``, which no ``finally`` can save) leave temp files
+        that are never looked at again.  ``repro doctor`` counts and
+        sweeps them.
+        """
+        try:
+            return sorted(p for p in self.directory.glob("*.json.tmp*")
+                          if p.is_file())
+        except OSError:
+            return []
+
+    def sweep_orphan_tmp(self, min_age: float = 60.0) -> int:
+        """Unlink orphaned temp files older than ``min_age`` seconds.
+
+        The age guard avoids racing a live writer mid-store (stores
+        complete in milliseconds; a minute-old temp file has no owner).
+        Returns the number removed.
+        """
+        removed = 0
+        for path in self.orphan_tmp_files():
+            try:
+                # repro-lint: allow(det-time) -- temp-file age gates cleanup only
+                age = time.time() - path.stat().st_mtime
+                if age >= min_age:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
 
 def cell_key(spec) -> str:

@@ -2,7 +2,12 @@
 
 One worker process listens on one port and serves one coordinator session
 at a time (the coordinator holds one connection per worker and keeps at
-most one cell in flight on it).  For every ``run`` frame the worker:
+most one cell in flight on it).  With ``--sessions N`` the worker instead
+accepts up to N concurrent coordinator sessions — the multiplexing mode
+``repro serve`` tenants need to share one fleet — computing one cell at
+a time under a global compute lock (the host has the same cores either
+way) while every queued session's heartbeats keep its lease fresh.
+For every ``run`` frame the worker:
 
 1. decodes the wire :class:`~repro.experiments.parallel.CellSpec`,
 2. starts a heartbeat thread beating every ``heartbeat`` seconds so the
@@ -67,7 +72,8 @@ def serve(host: str = "127.0.0.1", port: int = 0,
           ready_file: Optional[str] = None,
           max_sessions: Optional[int] = None,
           stop: Optional[threading.Event] = None,
-          quiet: bool = False) -> int:
+          quiet: bool = False,
+          sessions: int = 1) -> int:
     """Listen for coordinator sessions; returns the bound port.
 
     ``port=0`` binds an ephemeral port, printed on stdout and written
@@ -75,21 +81,35 @@ def serve(host: str = "127.0.0.1", port: int = 0,
     tests poll that file instead of parsing output.  ``max_sessions``
     exits after that many coordinator sessions (tests); ``stop`` is an
     optional event polled between ``accept`` attempts (in-process use).
+
+    ``sessions`` is the concurrent-session capacity.  The default 1 is
+    the historical single-coordinator loop: one session at a time, cells
+    computed in the main thread (so an injected SIGKILL crash fault
+    takes the whole process down, exactly like a real OOM kill).  With
+    ``sessions > 1`` each accepted connection gets a session thread and
+    cells are computed one at a time under a shared compute lock;
+    heartbeats start *before* the lock is taken, so a cell queued behind
+    another tenant's cell keeps its lease fresh while it waits.  (A
+    SIGKILL still kills the whole process from any thread.)
     """
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     server.bind((host, port))
-    server.listen(1)
+    server.listen(max(1, sessions))
     bound = server.getsockname()[1]
     if not quiet:
         print(f"[repro-worker] listening on {host}:{bound} "
-              f"(protocol v{PROTOCOL_VERSION})", flush=True)
+              f"(protocol v{PROTOCOL_VERSION}, sessions={sessions})",
+              flush=True)
     if ready_file is not None:
         path = Path(ready_file)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(f"{host}:{bound}\n")
     server.settimeout(_ACCEPT_TICK)
-    sessions = 0
+    compute_lock = threading.Lock() if sessions > 1 else None
+    threads: List[threading.Thread] = []
+    conns: List[socket.socket] = []
+    accepted = 0
     try:
         while stop is None or not stop.is_set():
             try:
@@ -98,24 +118,50 @@ def serve(host: str = "127.0.0.1", port: int = 0,
                 continue
             except OSError:
                 break
-            try:
-                _session(conn)
-            except (OSError, FrameError):
-                pass  # coordinator vanished mid-session; await the next
-            finally:
-                try:
-                    conn.close()
-                except OSError:
-                    pass
-            sessions += 1
-            if max_sessions is not None and sessions >= max_sessions:
+            accepted += 1
+            if sessions > 1:
+                threads = [t for t in threads if t.is_alive()]
+                conns.append(conn)
+                thread = threading.Thread(
+                    target=_session_guarded, args=(conn, compute_lock),
+                    daemon=True)
+                thread.start()
+                threads.append(thread)
+            else:
+                _session_guarded(conn, None)
+            if max_sessions is not None and accepted >= max_sessions:
                 break
     finally:
         server.close()
+        # Unblock session threads parked in recv so shutdown is prompt
+        # (close alone does not interrupt a blocked recv);
+        # _session_guarded absorbs the resulting OSError.
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+    for thread in threads:
+        thread.join(timeout=_STALL_SECONDS * 2)
     return bound
 
 
-def _session(conn: socket.socket) -> None:
+def _session_guarded(conn: socket.socket,
+                     compute_lock: Optional[threading.Lock]) -> None:
+    """Run one session, absorbing a vanished coordinator."""
+    try:
+        _session(conn, compute_lock)
+    except (OSError, FrameError):
+        pass  # coordinator vanished mid-session; await the next
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _session(conn: socket.socket,
+             compute_lock: Optional[threading.Lock] = None) -> None:
     """One coordinator session: handshake, then serve run frames."""
     conn.settimeout(None)
     hello = recv_frame(conn)
@@ -134,11 +180,12 @@ def _session(conn: socket.socket) -> None:
         if frame is None:
             return
         if frame.get("type") == "run":
-            _run_cell(conn, send_lock, frame)
+            _run_cell(conn, send_lock, frame, compute_lock)
 
 
 def _run_cell(conn: socket.socket, send_lock: threading.Lock,
-              frame: dict) -> None:
+              frame: dict,
+              compute_lock: Optional[threading.Lock] = None) -> None:
     """Compute one leased cell and send its terminal frame."""
     from .parallel import compute_cell  # deferred: parallel imports backends
     from .result_cache import encode_result
@@ -166,7 +213,13 @@ def _run_cell(conn: socket.socket, send_lock: threading.Lock,
         beat.start()
     try:
         try:
-            result = compute_cell(spec)
+            if compute_lock is not None:
+                # Multi-session mode: one cell computes at a time; the
+                # heartbeat thread above keeps the lease fresh meanwhile.
+                with compute_lock:
+                    result = compute_cell(spec)
+            else:
+                result = compute_cell(spec)
         except Exception as error:  # cell failed; report and stay alive
             send_frame(conn, {"type": "error", "lease": lease,
                               "error": f"{type(error).__name__}: {error}"},
@@ -227,7 +280,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="N",
                         help="exit after N coordinator sessions "
                              "(default: serve forever)")
+    parser.add_argument("--sessions", type=int, default=1, metavar="N",
+                        help="concurrent coordinator sessions; >1 computes "
+                             "cells under a shared lock so repro serve "
+                             "tenants can multiplex one fleet "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
+    if args.sessions < 1:
+        parser.error("--sessions must be >= 1")
     serve(host=args.host, port=args.port, ready_file=args.ready_file,
-          max_sessions=args.max_sessions)
+          max_sessions=args.max_sessions, sessions=args.sessions)
     return 0

@@ -73,6 +73,12 @@ WORKER_ENTRY_POINTS = (("experiments.parallel", "compute_cell"),)
 SOCKET_SANCTIONED_MODULES = frozenset({
     "repro.experiments.backends",
     "repro.experiments.worker",
+    # The shared result-cache service and its client (same frame
+    # protocol as the worker substrate).
+    "repro.experiments.cache_service",
+    # The async HTTP coordinator front-end (asyncio streams plus the
+    # frame protocol via the backends it drives).
+    "repro.experiments.serve",
 })
 
 #: The only module allowed to take cross-process file locks: the result

@@ -69,6 +69,8 @@ SANCTIONED_ENV_MODULES = frozenset({
     "repro.experiments.result_cache",
     "repro.experiments.journal",
     "repro.experiments.resilience",
+    # $REPRO_CACHE_URL: where results are cached, never what they are.
+    "repro.experiments.cache_service",
 })
 
 #: Modules allowed to read monotonic (never wall-clock) clocks: the
@@ -87,6 +89,8 @@ MONOTONIC_CLOCK_MODULES = frozenset({
     # CacheLock wait budget (its one wall-clock read, lock-file age for
     # stale-break, carries a det-time pragma at the call site).
     "repro.experiments.result_cache",
+    # Cache-client reconnect cooldown — scheduling only.
+    "repro.experiments.cache_service",
 })
 
 #: Modules allowed to open files for writing.  Everything else — the
@@ -108,6 +112,10 @@ SANCTIONED_WRITE_MODULES = frozenset({
     # The worker service's ready-file (host:port for launch scripts);
     # cell computation inside the worker stays write-free.
     "repro.experiments.worker",
+    # The cache service and HTTP coordinator write the same ready-file
+    # breadcrumb; entry persistence itself goes through result_cache.
+    "repro.experiments.cache_service",
+    "repro.experiments.serve",
 })
 
 _RANDOM_DRAWS = frozenset({

@@ -67,6 +67,17 @@ _BACKEND_COUNTERS = (
     "worker_losses", "corrupt_results",
 )
 
+#: Result-cache counter names folded into the nested ``cache`` summary
+#: from ``sweep`` records.  Local :class:`ResultCache` stores report the
+#: first five; a :class:`NetworkCacheClient` adds the transport counters
+#: (kept nested because ``reconnects`` would collide with the backend
+#: counter of the same name).
+_CACHE_COUNTERS = (
+    "hits", "misses", "stores", "quarantined", "lock_timeouts",
+    "rpc_errors", "reconnects", "corrupt_replies", "rejected_stores",
+    "fallback_hits",
+)
+
 
 def summarize_metrics(path: Union[str, Path]) -> Dict[str, object]:
     """Aggregate a metrics JSONL file into one dict of counts.
@@ -74,13 +85,15 @@ def summarize_metrics(path: Union[str, Path]) -> Dict[str, object]:
     Tolerates a torn final line (a sweep killed mid-append) and unknown
     events, mirroring the journal loader's discipline.  Sums per-cell
     records (by source and status), ``requeue`` events by failure kind,
-    and the distributed-backend counters carried by ``sweep`` records.
+    and the distributed-backend and result-cache counters carried by
+    ``sweep`` records.
     """
     summary: Dict[str, object] = {
         "cells": 0, "computed": 0, "cache_hits": 0, "from_journal": 0,
         "failed": 0, "sweeps": 0,
         "requeues": {},
         **{name: 0 for name in _BACKEND_COUNTERS},
+        "cache": {name: 0 for name in _CACHE_COUNTERS},
     }
     try:
         text = Path(path).read_text(encoding="utf-8")
@@ -117,6 +130,13 @@ def summarize_metrics(path: Union[str, Path]) -> Dict[str, object]:
                     value = backend.get(name)
                     if isinstance(value, int):
                         summary[name] += value
+            cache = record.get("cache")
+            if isinstance(cache, dict):
+                folded: Dict[str, int] = summary["cache"]
+                for name in _CACHE_COUNTERS:
+                    value = cache.get(name)
+                    if isinstance(value, int):
+                        folded[name] += value
     return summary
 
 
@@ -138,4 +158,16 @@ def render_metrics_summary(summary: Dict[str, object]) -> str:
         parts.append(f"requeued {sum(requeues.values())} ({detail})")
     else:
         parts.append("requeued 0")
+    cache = summary.get("cache") or {}
+    if any(cache.values()):
+        store = (f"cache {cache.get('hits', 0)} hits"
+                 f"/{cache.get('misses', 0)} misses"
+                 f"/{cache.get('stores', 0)} stores")
+        trouble = {name: count for name, count in sorted(cache.items())
+                   if count and name not in ("hits", "misses", "stores")}
+        if trouble:
+            store += " (" + ", ".join(f"{name}: {count}"
+                                      for name, count in trouble.items()
+                                      ) + ")"
+        parts.append(store)
     return "; ".join(parts)

@@ -96,7 +96,7 @@ def workers(tmp_path):
     """
     procs = []
 
-    def launch(n=2, env_extra=None):
+    def launch(n=2, env_extra=None, args_extra=None):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
         if env_extra:
@@ -107,7 +107,7 @@ def workers(tmp_path):
             ready = tmp_path / f"worker-{len(procs)}-{i}.ready"
             proc = subprocess.Popen(
                 [sys.executable, "-m", "repro", "worker",
-                 "--ready-file", str(ready)],
+                 "--ready-file", str(ready), *(args_extra or [])],
                 env=env, stdout=subprocess.DEVNULL,
                 stderr=subprocess.DEVNULL)
             procs.append(proc)
@@ -240,6 +240,31 @@ class TestEndpoints:
     def test_rejects_malformed(self, bad):
         with pytest.raises(ValueError):
             parse_endpoints(bad)
+
+    def test_bracketed_ipv6(self):
+        assert parse_endpoints("[::1]:9001") == (("::1", 9001),)
+        assert (parse_endpoints("[fe80::1]:1, [::1]:2")
+                == (("fe80::1", 1), ("::1", 2)))
+
+    def test_unbracketed_ipv6_names_the_fix(self):
+        with pytest.raises(ValueError, match="bracket IPv6"):
+            parse_endpoints("::1:9001")
+
+    @pytest.mark.parametrize("bad", ["h:0", "h:-1", "h:65536", "h:100000",
+                                     "[::1]:0"])
+    def test_rejects_out_of_range_ports(self, bad):
+        with pytest.raises(ValueError, match="port"):
+            parse_endpoints(bad)
+
+    def test_port_range_boundaries_accepted(self):
+        assert parse_endpoints("h:1, i:65535") == (("h", 1), ("i", 65535))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="once"):
+            parse_endpoints("a:1, b:2, a:1")
+
+    def test_same_host_different_ports_is_fine(self):
+        assert parse_endpoints("a:1, a:2") == (("a", 1), ("a", 2))
 
 
 class TestLeaseIds:
@@ -374,6 +399,31 @@ class TestDistributedExecution:
         grants = [json.loads(l) for l in lines.splitlines()
                   if '"lease"' in l and '"grant"' in l]
         assert len(grants) == len(GRID)
+
+    def test_multi_session_worker_serves_two_coordinators(self, workers,
+                                                          serial_grid):
+        """One ``--sessions 2`` worker multiplexes two concurrent
+        coordinators (the ``repro serve`` tenant shape): cells compute
+        one at a time under the shared lock, queued cells' heartbeats
+        keep their leases fresh, and every result stays bit-identical."""
+        endpoints, _ = workers(1, args_extra=["--sessions", "2"])
+        outcomes = {}
+
+        def coordinator(name, cells):
+            outcomes[name] = execute_cells(cells, backend=endpoints,
+                                           policy=_policy())
+
+        threads = [
+            threading.Thread(target=coordinator, args=("a", GRID[:2])),
+            threading.Thread(target=coordinator, args=("b", GRID[2:])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads)
+        merged = outcomes["a"] + outcomes["b"]
+        assert _encoded(merged) == _encoded(serial_grid)
 
     def test_worker_flags(self, workers):
         endpoints, _ = workers(1)

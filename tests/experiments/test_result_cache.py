@@ -331,14 +331,26 @@ class TestCacheLock:
         assert rival.acquire()
         rival.release()
 
-    def test_lock_file_holds_pid_and_is_removed_on_release(self, tmp_path):
+    def test_lock_file_holds_token_and_is_removed_on_release(self, tmp_path):
         import os
 
         path = tmp_path / "entry.lock"
         with CacheLock(path) as lock:
             assert lock.acquired
-            assert path.read_text() == str(os.getpid())
+            assert path.read_text() == lock.token
+            pid, _, nonce = path.read_text().partition(":")
+            assert pid == str(os.getpid())
+            assert nonce.isdigit()
         assert not path.exists()
+
+    def test_tokens_unique_per_acquire(self, tmp_path):
+        lock = CacheLock(tmp_path / "entry.lock")
+        assert lock.acquire()
+        first = lock.token
+        lock.release()
+        assert lock.acquire()
+        assert lock.token != first
+        lock.release()
 
     def test_stale_lock_is_broken(self, tmp_path):
         import os
@@ -385,6 +397,44 @@ class TestCacheLock:
         assert cache.lock_timeouts == 1
         assert cache.load(key) is not None
 
+    def test_release_after_steal_leaves_new_owner_lock(self, tmp_path):
+        """Regression: release used to unlink unconditionally.  When a
+        stale-breaker removes A's lock and B re-acquires, A's release
+        must leave B's lock file alone."""
+        path = tmp_path / "entry.lock"
+        ours = CacheLock(path)
+        assert ours.acquire()
+        path.unlink()  # a stale-breaker judged us dead...
+        rival = CacheLock(path)
+        assert rival.acquire()  # ...and a rival took the lock over
+        ours.release()
+        assert path.exists()
+        assert path.read_text() == rival.token
+        rival.release()
+        assert not path.exists()
+
+    def test_stale_break_skips_reacquired_lock(self, tmp_path):
+        """Regression: the stale-break unlink is conditional on the lock
+        still holding the token whose age was judged stale.  If the
+        holder releases and a third party re-acquires between the stat
+        and the unlink, the fresh lock survives."""
+        import os
+
+        path = tmp_path / "entry.lock"
+        path.write_text("99999:0")
+        old = path.stat().st_mtime - 120.0
+        os.utime(path, (old, old))
+        breaker = CacheLock(path, timeout=0.2, stale_after=30.0)
+        observed = breaker._read_state()
+        assert observed == ("99999:0", observed[1]) and observed[1] > 30.0
+        # The race window: holder releases, someone else re-acquires.
+        path.unlink()
+        fresh = CacheLock(path)
+        assert fresh.acquire()
+        assert not breaker._unlink_if_token(observed[0])
+        assert path.read_text() == fresh.token
+        fresh.release()
+
     def test_probe_lock_clean_directory(self, tmp_path):
         assert ResultCache(tmp_path / "cache").probe_lock() is None
 
@@ -396,3 +446,109 @@ class TestCacheLock:
         monkeypatch.setattr(CacheLock, "acquire", lambda self: True)
         error = cache.probe_lock()
         assert error is not None and "O_EXCL" in error
+
+
+class TestTempFileHygiene:
+    """A failed store must not strand ``<key>.json.tmp<pid>`` forever."""
+
+    def test_failed_store_leaves_no_tmp(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def refuse(src, dst):
+            raise OSError("injected: disk full")
+
+        monkeypatch.setattr("os.replace", refuse)
+        with pytest.raises(OSError, match="disk full"):
+            cache.store("f" * 64, _sample_accuracy_result())
+        assert cache.orphan_tmp_files() == []
+        assert not cache.contains("f" * 64)
+        assert cache.stores == 0
+
+    def test_orphan_listing_and_age_gated_sweep(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        fresh = cache.directory / f"{'a' * 64}.json.tmp111"
+        stale = cache.directory / f"{'b' * 64}.json.tmp222"
+        fresh.write_text("{}")
+        stale.write_text("{}")
+        old = stale.stat().st_mtime - 3_600.0
+        os.utime(stale, (old, old))  # its writer died an hour ago
+        assert cache.orphan_tmp_files() == sorted([fresh, stale])
+        assert cache.sweep_orphan_tmp(min_age=60.0) == 1
+        assert fresh.exists() and not stale.exists()
+        assert cache.orphan_tmp_files() == [fresh]
+
+    def test_entries_never_listed_as_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, _sample_accuracy_result())
+        assert cache.orphan_tmp_files() == []
+
+
+class TestConcurrentWriters:
+    """Two coordinators racing on one key: serialised, counted, intact."""
+
+    @pytest.fixture
+    def short_lock(self, monkeypatch):
+        monkeypatch.setattr(
+            ResultCache, "_lock_for",
+            lambda self, path: CacheLock(path.with_name(path.name + ".lock"),
+                                         timeout=0.2, stale_after=300.0))
+
+    def test_two_writers_same_key_both_land(self, tmp_path):
+        import threading
+
+        key = "a" * 64
+        result = _sample_accuracy_result()
+        writers = [ResultCache(tmp_path), ResultCache(tmp_path)]
+        gate = threading.Barrier(2)
+
+        def hammer(cache):
+            gate.wait()
+            for _ in range(5):
+                cache.store(key, result)
+
+        threads = [threading.Thread(target=hammer, args=(cache,))
+                   for cache in writers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(cache.stores == 5 for cache in writers)
+        loaded = writers[0].load(key)
+        assert loaded.to_dict() == result.to_dict()
+        # No residue: temp files consumed, every lock released.
+        assert writers[0].orphan_tmp_files() == []
+        assert not (tmp_path / f"{key}.json.lock").exists()
+
+    def test_quarantine_under_held_lock_counts_timeout(self, tmp_path,
+                                                       short_lock):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        cache.store(key, _sample_accuracy_result())
+        cache.path_for(key).write_text("garbage")
+        rival = cache._lock_for(cache.path_for(key))
+        assert rival.acquire()
+        try:
+            assert cache.load(key) is None  # proceeds unlocked
+        finally:
+            rival.release()
+        assert cache.lock_timeouts == 1
+        assert cache.quarantined == 1
+        assert (cache.quarantine_dir / f"{key}.json").exists()
+
+    def test_lock_timeouts_accumulate_across_store_and_quarantine(
+            self, tmp_path, short_lock):
+        cache = ResultCache(tmp_path)
+        key = "d" * 64
+        rival = cache._lock_for(cache.path_for(key))
+        assert rival.acquire()
+        try:
+            cache.store(key, _sample_accuracy_result())  # timeout 1
+            cache.path_for(key).write_text("garbage")
+            assert cache.load(key) is None  # quarantine: timeout 2
+        finally:
+            rival.release()
+        assert cache.lock_timeouts == 2
+        assert cache.counters["lock_timeouts"] == 2
